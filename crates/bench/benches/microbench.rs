@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks of the hot data structures: the operations
+//! that sit on the scheduling critical path in a real deployment (the
+//! paper's v3 optimizations were exactly "data structures, sampling, and
+//! so on").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use deepserve::{GlobalPromptTree, Heatmap, TeId};
+use flowserve::block::BlockPool;
+use flowserve::rtc::{Rtc, RtcConfig};
+use flowserve::{synthetic_tokens, Tokenizer};
+use simcore::{EventQueue, SharedLink, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.push(SimTime::from_nanos(i * 7919 % 1000), i);
+                }
+                while let Some(x) = q.pop() {
+                    black_box(x);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_block_pool(c: &mut Criterion) {
+    c.bench_function("block_pool/alloc_free_4k", |b| {
+        b.iter_batched(
+            || BlockPool::new(4096),
+            |mut p| {
+                let blocks = p.alloc_many(4096).expect("capacity");
+                for blk in blocks {
+                    p.decref(blk);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_radix_tree(c: &mut Criterion) {
+    // Insert 256 prompts of 64 blocks then match against them — the RTC
+    // master's per-request work at steady state.
+    let prompts: Vec<Vec<flowserve::TokenId>> = (0..256)
+        .map(|i| synthetic_tokens(i, 1024, 64_000))
+        .collect();
+    c.bench_function("rtc/insert_256x1k", |b| {
+        b.iter_batched(
+            || {
+                Rtc::new(RtcConfig {
+                    block_size: 16,
+                    npu_blocks: 256 * 64 + 64,
+                    dram_blocks: 0,
+                })
+            },
+            |mut rtc| {
+                for p in &prompts {
+                    let blocks = rtc.alloc_blocks(64).expect("sized for it");
+                    rtc.insert_prefix(SimTime::ZERO, p, &blocks);
+                    rtc.free(&blocks);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut warm = Rtc::new(RtcConfig {
+        block_size: 16,
+        npu_blocks: 256 * 64 + 64,
+        dram_blocks: 0,
+    });
+    for p in &prompts {
+        let blocks = warm.alloc_blocks(64).expect("sized for it");
+        warm.insert_prefix(SimTime::ZERO, p, &blocks);
+        warm.free(&blocks);
+    }
+    c.bench_function("rtc/match_1k_prompt", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let m = warm.match_by_prefix_token(&prompts[i % prompts.len()]);
+            i += 1;
+            black_box(m.tokens)
+        })
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let t = Tokenizer::default();
+    let text = "The quick brown fox jumps over the lazy dog. ".repeat(200);
+    c.bench_function("tokenizer/9k_chars", |b| {
+        b.iter(|| black_box(t.tokenize(&text).len()))
+    });
+}
+
+fn bench_prompt_tree(c: &mut Criterion) {
+    let mut tree = GlobalPromptTree::new(16, 500_000);
+    for te in 0..16u32 {
+        for p in 0..64u64 {
+            tree.insert(
+                SimTime::ZERO,
+                TeId(te),
+                &synthetic_tokens(te as u64 * 1000 + p, 512, 64_000),
+            );
+        }
+    }
+    let query = synthetic_tokens(3 * 1000 + 7, 640, 64_000);
+    c.bench_function("prompt_tree/match_16te", |b| {
+        b.iter(|| black_box(tree.best_te(&query)))
+    });
+}
+
+fn bench_heatmap(c: &mut Criterion) {
+    let h = Heatmap::default_production();
+    c.bench_function("heatmap/lookup", |b| {
+        let mut i: usize = 0;
+        b.iter(|| {
+            i = i.wrapping_add(997);
+            black_box(h.lookup(i % 20_000, (i % 4_000) as u32))
+        })
+    });
+}
+
+fn bench_shared_link(c: &mut Criterion) {
+    c.bench_function("shared_link/64_flows", |b| {
+        b.iter_batched(
+            || SharedLink::new(56e9, SimDuration::from_micros(10)),
+            |mut link| {
+                let t0 = SimTime::ZERO;
+                for _ in 0..64 {
+                    link.start_flow(t0, 1 << 28);
+                }
+                let mut now = t0;
+                while link.active_flows() > 0 {
+                    let next = link.next_completion(now).expect("flows active");
+                    black_box(link.advance_to(next).len());
+                    now = next;
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_block_pool,
+    bench_radix_tree,
+    bench_tokenizer,
+    bench_prompt_tree,
+    bench_heatmap,
+    bench_shared_link
+);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Figure 8 + Table 2: end-to-end scaling latency breakdown, before and
+//! after optimizations.
+//!
+//! Paper shape to reproduce: every optimization shrinks its step; after
+//! optimization, TE-Pre-Load dominates the remaining pipeline unless TEs
+//! are pre-warmed (§6.1), at which point the whole scale-up takes seconds.
+//!
+//! Run: `cargo run --release -p deepserve-bench --bin fig8_scaling_breakdown`
+
+use deepserve::{LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad};
+use deepserve_bench::{header, write_json};
+use llm_model::{Checkpoint, ModelSpec, Parallelism};
+use npu::pagecache::FileId;
+use npu::specs::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    config: &'static str,
+    scaler_pre_s: f64,
+    te_pre_load_s: f64,
+    te_load_s: f64,
+    te_post_load_s: f64,
+    scaler_post_s: f64,
+    total_s: f64,
+}
+
+fn row(
+    model: &'static str,
+    config: &'static str,
+    b: ScalingBreakdown,
+) -> Row {
+    Row {
+        model,
+        config,
+        scaler_pre_s: b.scaler_pre.as_secs_f64(),
+        te_pre_load_s: b.te_pre_load.as_secs_f64(),
+        te_load_s: b.te_load.as_secs_f64(),
+        te_post_load_s: b.te_post_load.as_secs_f64(),
+        scaler_post_s: b.scaler_post.as_secs_f64(),
+        total_s: b.total().as_secs_f64(),
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>12} {:>26} {:>10.2} {:>12.2} {:>9.2} {:>13.2} {:>12.2} {:>9.2}",
+        r.model,
+        r.config,
+        r.scaler_pre_s,
+        r.te_pre_load_s,
+        r.te_load_s,
+        r.te_post_load_s,
+        r.scaler_post_s,
+        r.total_s
+    );
+}
+
+fn main() {
+    header("Figure 8 / Table 2: end-to-end scaling breakdown (seconds)");
+    println!(
+        "{:>12} {:>26} {:>10} {:>12} {:>9} {:>13} {:>12} {:>9}",
+        "model", "config", "ScalerPre", "TE-Pre-Load", "TE-Load", "TE-Post-Load", "Scaler-Post", "TOTAL"
+    );
+
+    let cluster = ClusterSpec::gen2_cluster(4);
+    let m = ScalingModel::new(cluster);
+    let mut rows = Vec::new();
+
+    let cases = [
+        ("internal-34b", ModelSpec::internal_34b(), Parallelism::tp(4)),
+        ("llama3-70b", ModelSpec::llama3_70b(), Parallelism::tp(8)),
+    ];
+    for (name, spec, par) in cases {
+        let ckpt = Checkpoint::new(FileId(1), spec);
+
+        // Before: nothing optimized, cold SSD load.
+        let before = m.breakdown(
+            &ckpt,
+            par,
+            ScalingOptimizations::none(),
+            LoadPath::DramMiss,
+            SourceLoad::idle(),
+        );
+        let r = row(name, "before (cold)", before);
+        print_row(&r);
+        rows.push(r);
+
+        // After software opts, but no pre-warmed TE pool: the paper's
+        // "TE-Pre-load remains the dominant factor" configuration.
+        let opts_no_prewarm = ScalingOptimizations {
+            prewarmed_tes: false,
+            npu_fork: false,
+            ..ScalingOptimizations::all()
+        };
+        let after_sw = m.breakdown(&ckpt, par, opts_no_prewarm, LoadPath::DramHit, SourceLoad::idle());
+        let r = row(name, "after (opt, no TE prewarm)", after_sw);
+        print_row(&r);
+        rows.push(r);
+
+        // Everything on: pre-warmed TEs + NPU-fork.
+        let after_all = m.breakdown(
+            &ckpt,
+            par,
+            ScalingOptimizations::all(),
+            LoadPath::NpuForkHccs { fanout: 1 },
+            SourceLoad::idle(),
+        );
+        let r = row(name, "after (all optimizations)", after_all);
+        print_row(&r);
+        rows.push(r);
+        println!();
+    }
+
+    header("Table 2 mapping (step -> issue -> solution)");
+    for line in [
+        "1 Scaler-Pre   | resource allocation slow      | pre-warmed pods",
+        "2 TE-Pre-Load  | Python/NPU init slow          | late import, parallel init, pre-warmed TEs",
+        "3 TE-Load      | model weights large           | DRAM pre-loading, NPU-fork",
+        "4 TE-Post-Load | warmup + block alloc slow     | offline profiling, async alloc, dummy req",
+        "5 Scaler-Post  | TE-list retrieval interval    | proactive pushing",
+    ] {
+        println!("  {line}");
+    }
+
+    header("Shape check");
+    let before = &rows[0];
+    let mid = &rows[1];
+    let after = &rows[2];
+    println!("34B cold total {:.1}s -> software-optimized {:.1}s -> fully pre-warmed {:.1}s", before.total_s, mid.total_s, after.total_s);
+    println!(
+        "TE-Pre-Load share after software opts: {:.0}% (paper: dominant)",
+        mid.te_pre_load_s / mid.total_s * 100.0
+    );
+    println!(
+        "fully optimized scale-up lands in seconds: {}",
+        if after.total_s < 5.0 { "yes" } else { "NO" }
+    );
+    write_json("fig8_scaling_breakdown", &rows);
+}

@@ -1,0 +1,51 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary prints a human-readable table mirroring the paper's
+//! figure and writes the raw series to `target/figures/<id>.json` so
+//! EXPERIMENTS.md numbers are machine-checkable.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory figure data lands in.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Writes a figure's data as pretty JSON.
+pub fn write_json<T: Serialize>(id: &str, data: &T) {
+    let path = figures_dir().join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(data).expect("serializable figure data");
+    fs::write(&path, json).expect("write figure JSON");
+    println!("\n[data written to {}]", path.display());
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Builds the paper's standard 34B TP=4 cost model on a Gen2 chip.
+pub fn cost_34b_tp4() -> llm_model::ExecCostModel {
+    let c = npu::specs::ClusterSpec::gen2_cluster(1);
+    llm_model::ExecCostModel::new(
+        c.server.chip.clone(),
+        c.hccs,
+        llm_model::ModelSpec::internal_34b(),
+        llm_model::Parallelism::tp(4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figures_dir_is_creatable() {
+        let d = super::figures_dir();
+        assert!(d.exists());
+    }
+}

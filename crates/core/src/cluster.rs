@@ -1,0 +1,543 @@
+//! The serving-cluster simulation: Job Executors dispatching onto a pool of
+//! FlowServe TEs over the NPU fabric.
+//!
+//! This is where everything composes (Figure 1): arrivals hit the JE's
+//! distributed scheduler (Algorithm 1), colocated TEs serve whole requests,
+//! disaggregated pairs run prefill then migrate KV over DistFlow/fabric to
+//! the decode TE, populate transfers stream KV from host DRAM over each
+//! TE's PCIe channel, and the JE's global prompt trees stay in sync with
+//! TE-side cache insertions.
+
+use crate::api::ApiRequest;
+use crate::heatmap::Heatmap;
+use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
+use crate::predictor::{DecodePredictor, FixedAccuracy, Oracle};
+use crate::prompt_tree::TeId;
+use flowserve::{
+    Engine, EngineConfig, EngineEvent, EngineMode, NewRequest, PopulateTicket, RequestId,
+};
+use llm_model::{ExecCostModel, ModelSpec, Parallelism};
+use npu::fabric::{Fabric, TransferId};
+use npu::specs::{ClusterSpec, NpuId};
+use simcore::{Clock, Counters, FifoChannel, LatencyStats, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Role of one TE in the serving pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum TeRole {
+    /// PD-colocated engine.
+    Colocated,
+    /// Prefill half of a disaggregated pair.
+    Prefill,
+    /// Decode half of a disaggregated pair.
+    Decode,
+}
+
+/// Cluster-simulation configuration.
+pub struct ClusterConfig {
+    /// Hardware.
+    pub cluster: ClusterSpec,
+    /// Model every TE serves.
+    pub model: ModelSpec,
+    /// Engine parallelism (the paper's serving tests use TP=4).
+    pub parallelism: Parallelism,
+    /// Engine template; `mode` is overridden per role.
+    pub engine: EngineConfig,
+    /// JE scheduling policy.
+    pub policy: Policy,
+    /// Decode-length predictor accuracy; `None` = oracle.
+    pub predictor_accuracy: Option<f64>,
+    /// PD heatmap for the PD-aware policy.
+    pub heatmap: Heatmap,
+    /// Fraction of a migrated KV transfer overlapped with prefill
+    /// (by-layer streaming; 0.0 = pure by-req transfer after prefill).
+    pub kv_transfer_overlap: f64,
+    /// RNG seed (predictor noise).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's standard serving testbed: a Gen2 cluster serving the
+    /// internal 34B model at TP=4 with the combined policy.
+    pub fn standard_34b() -> Self {
+        ClusterConfig {
+            cluster: ClusterSpec::gen2_cluster(4),
+            model: ModelSpec::internal_34b(),
+            parallelism: Parallelism::tp(4),
+            engine: EngineConfig::colocated(),
+            policy: Policy::Combined,
+            predictor_accuracy: Some(0.9),
+            heatmap: Heatmap::default_production(),
+            kv_transfer_overlap: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(u32),
+    Wake(TeId),
+    Populate(TeId, PopulateTicket),
+    FabricAdvance,
+}
+
+struct Te {
+    id: TeId,
+    role: TeRole,
+    engine: Engine,
+    npus: Vec<NpuId>,
+    /// Host-DRAM -> HBM channel for populate transfers.
+    pcie: FifoChannel,
+    scheduled_wake: Option<SimTime>,
+}
+
+struct Migration {
+    new: NewRequest,
+    from: TeId,
+    to: TeId,
+    kv_tokens: usize,
+    first_token_at: SimTime,
+}
+
+/// Per-run results.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// End-to-end latency metrics across completed requests.
+    pub latency: LatencyStats,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Event counters.
+    pub counters: Counters,
+    /// Per-TE busy time.
+    pub te_busy: Vec<(TeId, SimDuration)>,
+}
+
+impl RunReport {
+    /// Decode throughput over the makespan (tokens/s).
+    pub fn throughput(&self) -> f64 {
+        self.latency.decode_throughput(self.makespan)
+    }
+}
+
+/// The serving cluster.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    clock: Clock<Event>,
+    fabric: Fabric,
+    fabric_wake: Option<SimTime>,
+    tes: Vec<Te>,
+    pairs: Vec<(TeId, TeId)>,
+    je: JobExecutor,
+    arrivals: Vec<ApiRequest>,
+    /// Disaggregated routing: request -> decode TE.
+    decode_route: HashMap<RequestId, TeId>,
+    /// Prompt + metadata stash for requests in the prefill half.
+    pending_migration: HashMap<RequestId, NewRequest>,
+    in_flight_migrations: HashMap<TransferId, Migration>,
+    latency: LatencyStats,
+    counters: Counters,
+    first_arrival: Option<SimTime>,
+    last_completion: SimTime,
+    completed: u64,
+    submitted: u64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster with the given TE roles placed round-robin across
+    /// servers (`world_size` NPUs each, packed per server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hardware cannot host all TEs, or if prefill/decode
+    /// roles are unpaired.
+    pub fn new(cfg: ClusterConfig, roles: &[TeRole]) -> Self {
+        let world = cfg.parallelism.world_size() as usize;
+        let per_server = cfg.cluster.server.chips_per_server / world;
+        assert!(per_server >= 1, "one TE needs {world} NPUs per server");
+        let capacity = cfg.cluster.num_servers * per_server;
+        assert!(
+            roles.len() <= capacity,
+            "cluster fits {capacity} TEs, asked for {}",
+            roles.len()
+        );
+
+        let mut tes = Vec::new();
+        for (i, &role) in roles.iter().enumerate() {
+            let server = i / per_server;
+            let first_chip = (i % per_server) * world;
+            let npus: Vec<NpuId> = (0..world)
+                .map(|k| NpuId::new(server, first_chip + k))
+                .collect();
+            let mode = match role {
+                TeRole::Colocated => EngineMode::Colocated,
+                TeRole::Prefill => EngineMode::PrefillOnly,
+                TeRole::Decode => EngineMode::DecodeOnly,
+            };
+            let engine_cfg = EngineConfig {
+                mode,
+                prefill_chunk_tokens: if role == TeRole::Prefill {
+                    4096
+                } else {
+                    cfg.engine.prefill_chunk_tokens
+                },
+                ..cfg.engine.clone()
+            };
+            let cost = ExecCostModel::new(
+                cfg.cluster.server.chip.clone(),
+                cfg.cluster.hccs,
+                cfg.model.clone(),
+                cfg.parallelism,
+            );
+            tes.push(Te {
+                id: TeId(i as u32),
+                role,
+                engine: Engine::new(engine_cfg, cost),
+                npus,
+                pcie: FifoChannel::new(
+                    cfg.cluster.server.pcie_bw_per_npu(world.min(8)) * world as f64,
+                    SimDuration::from_micros(100),
+                ),
+                scheduled_wake: None,
+            });
+        }
+
+        // Pair prefill and decode TEs in order of appearance; a decode TE
+        // may back several prefill TEs (the paper's 2P1D setup).
+        let prefills: Vec<TeId> = tes
+            .iter()
+            .filter(|t| t.role == TeRole::Prefill)
+            .map(|t| t.id)
+            .collect();
+        let decodes: Vec<TeId> = tes
+            .iter()
+            .filter(|t| t.role == TeRole::Decode)
+            .map(|t| t.id)
+            .collect();
+        assert!(
+            prefills.is_empty() == decodes.is_empty(),
+            "prefill TEs require decode TEs and vice versa"
+        );
+        let pairs: Vec<(TeId, TeId)> = prefills
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, decodes[i % decodes.len()]))
+            .collect();
+
+        let predictor: Box<dyn DecodePredictor> = match cfg.predictor_accuracy {
+            None => Box::new(Oracle),
+            Some(a) => Box::new(FixedAccuracy::new(a, cfg.seed ^ 0x9e37)),
+        };
+        let je = JobExecutor::new(
+            cfg.policy,
+            cfg.heatmap.clone(),
+            predictor,
+            cfg.engine.block_size,
+        );
+        let fabric = Fabric::new(cfg.cluster.clone());
+        ClusterSim {
+            cfg,
+            clock: Clock::new(),
+            fabric,
+            fabric_wake: None,
+            tes,
+            pairs,
+            je,
+            arrivals: Vec::new(),
+            decode_route: HashMap::new(),
+            pending_migration: HashMap::new(),
+            in_flight_migrations: HashMap::new(),
+            latency: LatencyStats::new(),
+            counters: Counters::new(),
+            first_arrival: None,
+            last_completion: SimTime::ZERO,
+            completed: 0,
+            submitted: 0,
+        }
+    }
+
+    /// The TE roles in play.
+    pub fn roles(&self) -> Vec<(TeId, TeRole)> {
+        self.tes.iter().map(|t| (t.id, t.role)).collect()
+    }
+
+    /// Queues a workload (arrivals must be time-sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are out of order.
+    pub fn inject(&mut self, requests: Vec<ApiRequest>) {
+        let mut last = SimTime::ZERO;
+        for r in &requests {
+            assert!(r.arrival >= last, "arrivals must be sorted by time");
+            last = r.arrival;
+        }
+        for (i, r) in requests.into_iter().enumerate() {
+            let at = r.arrival;
+            let idx = self.arrivals.len() as u32;
+            self.arrivals.push(r);
+            self.clock.schedule(at, Event::Arrival(idx));
+            let _ = i;
+        }
+    }
+
+    /// Runs until all injected requests complete (or nothing can progress).
+    pub fn run_to_completion(&mut self) -> RunReport {
+        let mut guard: u64 = 0;
+        while let Some((now, ev)) = self.clock.next() {
+            self.handle(now, ev);
+            guard += 1;
+            assert!(
+                guard < 200_000_000,
+                "cluster sim exceeded event budget (livelock?)"
+            );
+        }
+        self.report()
+    }
+
+    fn report(&mut self) -> RunReport {
+        let start = self.first_arrival.unwrap_or(SimTime::ZERO);
+        let makespan = self.last_completion.since(start.min(self.last_completion));
+        let mut latency = LatencyStats::new();
+        std::mem::swap(&mut latency, &mut self.latency);
+        RunReport {
+            latency,
+            makespan,
+            counters: self.counters.clone(),
+            te_busy: self
+                .tes
+                .iter()
+                .map(|t| (t.id, t.engine.stats().busy))
+                .collect(),
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival(idx) => self.on_arrival(now, idx),
+            Event::Wake(te) => self.on_wake(now, te),
+            Event::Populate(te, ticket) => {
+                self.te_mut(te).engine.populate_transfer_done(now, ticket);
+                self.reschedule_wake(now, te);
+            }
+            Event::FabricAdvance => self.on_fabric(now),
+        }
+    }
+
+    fn te_mut(&mut self, id: TeId) -> &mut Te {
+        &mut self.tes[id.0 as usize]
+    }
+
+    fn sched_pool(&self) -> SchedPool {
+        let mut pool = SchedPool::default();
+        for t in &self.tes {
+            if t.role == TeRole::Colocated {
+                pool.colocated.push(t.id);
+            }
+            pool.loads.insert(t.id, TeSnapshot {
+                load: t.engine.load(),
+            });
+        }
+        pool.pairs = self.pairs.clone();
+        pool
+    }
+
+    fn on_arrival(&mut self, now: SimTime, idx: u32) {
+        let req = self.arrivals[idx as usize].clone();
+        self.first_arrival = Some(self.first_arrival.unwrap_or(now).min(now));
+        let pool = self.sched_pool();
+        let decision: Decision = self.je.schedule(now, &req, &pool);
+        self.submitted += 1;
+        let new = NewRequest {
+            id: req.id,
+            prompt: req.prompt.clone(),
+            target_output: req.target_output,
+            arrival: req.arrival,
+            cache_id: req.cache_id,
+        };
+        match decision.target {
+            Target::Colocated(te_id) => {
+                self.counters.incr("sim.routed_colocated");
+                self.submit_to(now, te_id, new);
+            }
+            Target::Disaggregated { prefill, decode } => {
+                self.counters.incr("sim.routed_disaggregated");
+                self.decode_route.insert(req.id, decode);
+                self.pending_migration.insert(req.id, new.clone());
+                self.submit_to(now, prefill, new);
+            }
+        }
+    }
+
+    fn submit_to(&mut self, now: SimTime, te_id: TeId, new: NewRequest) {
+        let world = self.cfg.parallelism.world_size() as u64;
+        let kv_bytes_tok = self.cfg.model.kv_bytes_per_token();
+        let outcome = {
+            let te = self.te_mut(te_id);
+            te.engine.submit(now, new)
+        };
+        if !outcome.accepted {
+            self.counters.incr("sim.rejected");
+        }
+        if let Some(p) = outcome.populate {
+            // Populate streams each rank's slice in parallel; the channel
+            // is sized for the aggregate, so charge total bytes.
+            let bytes = p.tokens as u64 * kv_bytes_tok;
+            let te = self.te_mut(te_id);
+            let done = te.pcie.enqueue(now, bytes);
+            self.clock.schedule(done, Event::Populate(te_id, p.ticket));
+            let _ = world;
+        }
+        self.reschedule_wake(now, te_id);
+    }
+
+    fn reschedule_wake(&mut self, now: SimTime, te_id: TeId) {
+        let wake = {
+            let te = self.te_mut(te_id);
+            te.engine.next_wake(now)
+        };
+        let Some(wake) = wake else { return };
+        let te = self.te_mut(te_id);
+        // Dedup: skip if an equal-or-earlier wake is already scheduled.
+        if te.scheduled_wake.is_some_and(|w| w <= wake && w >= now) {
+            return;
+        }
+        te.scheduled_wake = Some(wake);
+        self.clock.schedule(wake.max_of(now), Event::Wake(te_id));
+    }
+
+    fn on_wake(&mut self, now: SimTime, te_id: TeId) {
+        {
+            let te = self.te_mut(te_id);
+            if te.scheduled_wake == Some(now) {
+                te.scheduled_wake = None;
+            }
+        }
+        let events = {
+            let te = self.te_mut(te_id);
+            te.engine.advance(now)
+        };
+        for ev in events {
+            self.on_engine_event(now, te_id, ev);
+        }
+        self.reschedule_wake(now, te_id);
+    }
+
+    fn on_engine_event(&mut self, now: SimTime, te_id: TeId, ev: EngineEvent) {
+        match ev {
+            EngineEvent::FirstToken { id, at } => {
+                // Cache insertion happened inside the engine; sync the JE
+                // tree for locality scheduling.
+                let role = self.tes[te_id.0 as usize].role;
+                if role == TeRole::Colocated {
+                    if let Some(new) = self.arrival_prompt(id) {
+                        self.je.note_cached(now, te_id, false, &new);
+                    }
+                }
+                let _ = at;
+            }
+            EngineEvent::PrefillComplete { id, at, kv_tokens } => {
+                let role = self.tes[te_id.0 as usize].role;
+                debug_assert_eq!(role, TeRole::Prefill);
+                if let Some(prompt) = self.arrival_prompt(id) {
+                    self.je.note_cached(now, te_id, true, &prompt);
+                }
+                self.start_migration(now, te_id, id, kv_tokens, at);
+            }
+            EngineEvent::Finished { latency, .. } => {
+                self.latency.record(latency);
+                self.completed += 1;
+                self.last_completion = now;
+                self.counters.incr("sim.completed");
+            }
+            EngineEvent::Rejected { .. } => {
+                self.counters.incr("sim.rejected");
+            }
+        }
+    }
+
+    fn arrival_prompt(&self, id: RequestId) -> Option<Vec<flowserve::TokenId>> {
+        self.arrivals
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.prompt.clone())
+    }
+
+    fn start_migration(
+        &mut self,
+        now: SimTime,
+        from: TeId,
+        id: RequestId,
+        kv_tokens: usize,
+        first_token_at: SimTime,
+    ) {
+        let Some(to) = self.decode_route.remove(&id) else {
+            // No route (e.g. context-cache-create): release immediately.
+            self.te_mut(from).engine.release_migrated(id);
+            return;
+        };
+        let new = self
+            .pending_migration
+            .remove(&id)
+            .expect("disaggregated request has stashed metadata");
+        // By-layer streaming overlaps most of the transfer with prefill;
+        // only the residual tail is exposed (§4.5: "by-req or by-layer").
+        let total_bytes = kv_tokens as u64 * self.cfg.model.kv_bytes_per_token();
+        let exposed =
+            (total_bytes as f64 * (1.0 - self.cfg.kv_transfer_overlap)).max(1.0) as u64;
+        let src = self.tes[from.0 as usize].npus[0];
+        let dst = self.tes[to.0 as usize].npus[0];
+        let tid = self.fabric.start_transfer(now, src, dst, exposed);
+        self.in_flight_migrations.insert(
+            tid,
+            Migration {
+                new,
+                from,
+                to,
+                kv_tokens,
+                first_token_at,
+            },
+        );
+        self.counters.incr("sim.kv_migrations");
+        self.counters.add("sim.kv_bytes_migrated", total_bytes);
+        self.schedule_fabric(now);
+    }
+
+    fn schedule_fabric(&mut self, now: SimTime) {
+        let Some(next) = self.fabric.next_event(now) else {
+            return;
+        };
+        if self.fabric_wake.is_some_and(|w| w <= next && w >= now) {
+            return;
+        }
+        self.fabric_wake = Some(next);
+        self.clock.schedule(next.max_of(now), Event::FabricAdvance);
+    }
+
+    fn on_fabric(&mut self, now: SimTime) {
+        if self.fabric_wake == Some(now) {
+            self.fabric_wake = None;
+        }
+        let done = self.fabric.advance_to(now);
+        for tid in done {
+            let Some(m) = self.in_flight_migrations.remove(&tid) else {
+                continue;
+            };
+            self.te_mut(m.from).engine.release_migrated(m.new.id);
+            let to = m.to;
+            {
+                let te = self.te_mut(to);
+                te.engine
+                    .submit_with_kv(now, m.new, m.kv_tokens, m.first_token_at);
+            }
+            self.reschedule_wake(now, m.from);
+            self.reschedule_wake(now, to);
+        }
+        self.schedule_fabric(now);
+    }
+
+    /// Completed / submitted counts (for progress checks in tests).
+    pub fn progress(&self) -> (u64, u64) {
+        (self.completed, self.submitted)
+    }
+}

@@ -1,0 +1,213 @@
+//! The PD heatmap: profiled JCT comparison between PD-disaggregated and
+//! PD-colocated TEs over (prefill length x decode/prefill ratio), and the
+//! `select_tes_PD_heatmap` policy built on it (§5.3).
+//!
+//! Cell values follow the paper's convention: `JCT(colocated) /
+//! JCT(disaggregated) - 1`. Positive means disaggregation wins. The
+//! scheduler combines the per-RPS heatmaps by element-wise addition and
+//! indexes the combined map with the request's prefill length and its
+//! *predicted* decode length.
+
+use serde::Serialize;
+
+/// Log-spaced bucket edges for prefill length (tokens).
+pub const PREFILL_EDGES: [usize; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+/// Log-spaced bucket edges for decode/prefill ratio.
+pub const RATIO_EDGES: [f64; 7] = [0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0];
+
+/// Rows (prefill buckets) and columns (ratio buckets).
+pub const ROWS: usize = PREFILL_EDGES.len();
+/// Columns of the heatmap grid.
+pub const COLS: usize = RATIO_EDGES.len();
+
+/// One profiled heatmap (a single RPS level, or a combined map).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Heatmap {
+    /// `cells[row][col]` = JCT(coloc)/JCT(disagg) - 1 at (prefill bucket,
+    /// ratio bucket).
+    pub cells: [[f64; COLS]; ROWS],
+    /// Label, e.g. "rps=0.6" or "combined".
+    pub label: String,
+}
+
+impl Heatmap {
+    /// An all-zero map.
+    pub fn zeros(label: impl Into<String>) -> Self {
+        Heatmap {
+            cells: [[0.0; COLS]; ROWS],
+            label: label.into(),
+        }
+    }
+
+    /// Bucket index for a prefill length (clamped to the grid).
+    pub fn prefill_bucket(prefill_len: usize) -> usize {
+        PREFILL_EDGES
+            .iter()
+            .position(|&e| prefill_len <= e)
+            .unwrap_or(ROWS - 1)
+    }
+
+    /// Bucket index for a decode/prefill ratio (clamped to the grid).
+    pub fn ratio_bucket(ratio: f64) -> usize {
+        RATIO_EDGES
+            .iter()
+            .position(|&e| ratio <= e)
+            .unwrap_or(COLS - 1)
+    }
+
+    /// Reads the cell for a request shape.
+    pub fn lookup(&self, prefill_len: usize, decode_len: u32) -> f64 {
+        let ratio = decode_len as f64 / prefill_len.max(1) as f64;
+        self.cells[Self::prefill_bucket(prefill_len)][Self::ratio_bucket(ratio)]
+    }
+
+    /// Writes the cell at bucket coordinates.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.cells[row][col] = value;
+    }
+
+    /// Element-wise sum of per-RPS maps (§5.3.2 step one: "we combine the
+    /// heat maps across all RPS values through element-wise addition").
+    pub fn combine(maps: &[Heatmap]) -> Heatmap {
+        let mut out = Heatmap::zeros("combined");
+        for m in maps {
+            for r in 0..ROWS {
+                for c in 0..COLS {
+                    out.cells[r][c] += m.cells[r][c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of cells whose sign is consistent across all `maps`
+    /// (the paper reports > 80% stability across RPS levels).
+    pub fn sign_stability(maps: &[Heatmap]) -> f64 {
+        if maps.is_empty() {
+            return 1.0;
+        }
+        let mut stable = 0;
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                let signs: Vec<bool> = maps.iter().map(|m| m.cells[r][c] >= 0.0).collect();
+                if signs.iter().all(|&s| s == signs[0]) {
+                    stable += 1;
+                }
+            }
+        }
+        stable as f64 / (ROWS * COLS) as f64
+    }
+
+    /// The production default: an analytic stand-in for the profiled map,
+    /// matching the paper's three observations — (1) disaggregation wins
+    /// for long prefill + short decode and the win grows with prefill
+    /// length, (2) wins (dark red) are larger than losses (light blue),
+    /// (3) shape is RPS-stable. The Figure 5 bench *measures* this map
+    /// from the simulator; this preset exists so the scheduler works
+    /// before any profiling has run.
+    pub fn default_production() -> Heatmap {
+        let mut m = Heatmap::zeros("default-production");
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                // Long prefill (r up) pushes positive; long decode ratio
+                // (c up) pushes negative; wins saturate higher than losses.
+                let prefill_term = (r as f64 + 1.0) / ROWS as f64; // 0..1
+                let ratio_term = (c as f64 + 1.0) / COLS as f64; // 0..1
+                let raw = 0.9 * prefill_term - 0.75 * ratio_term + 0.1;
+                m.cells[r][c] = if raw >= 0.0 { raw } else { raw * 0.35 };
+            }
+        }
+        m
+    }
+
+    /// Renders the map as an ASCII table (for figure output).
+    pub fn render(&self) -> String {
+        let mut s = format!("heatmap [{}]: rows=prefill, cols=decode/prefill\n", self.label);
+        s.push_str("            ");
+        for e in RATIO_EDGES {
+            s.push_str(&format!("{e:>8.3}"));
+        }
+        s.push('\n');
+        for (r, row) in self.cells.iter().enumerate() {
+            s.push_str(&format!("{:>8}tok |", PREFILL_EDGES[r]));
+            for v in row {
+                s.push_str(&format!("{v:>8.2}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_clamp_and_order() {
+        assert_eq!(Heatmap::prefill_bucket(1), 0);
+        assert_eq!(Heatmap::prefill_bucket(256), 0);
+        assert_eq!(Heatmap::prefill_bucket(257), 1);
+        assert_eq!(Heatmap::prefill_bucket(1_000_000), ROWS - 1);
+        assert_eq!(Heatmap::ratio_bucket(0.0), 0);
+        assert_eq!(Heatmap::ratio_bucket(0.2), 4);
+        assert_eq!(Heatmap::ratio_bucket(100.0), COLS - 1);
+    }
+
+    #[test]
+    fn default_map_matches_paper_observations() {
+        let m = Heatmap::default_production();
+        // Observation 1: long prefill + short decode => disaggregated wins.
+        assert!(m.lookup(8192, 64) > 0.0);
+        // Short prefill + long decode => colocated wins.
+        assert!(m.lookup(256, 512) < 0.0);
+        // Advantage grows with prefill length at fixed ratio.
+        assert!(m.lookup(16384, 1024) > m.lookup(1024, 64));
+        // Observation 2: wins are larger than losses in magnitude.
+        let max_win = m
+            .cells
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let max_loss = m
+            .cells
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        assert!(max_win > max_loss.abs());
+    }
+
+    #[test]
+    fn combine_is_elementwise_addition() {
+        let mut a = Heatmap::zeros("a");
+        let mut b = Heatmap::zeros("b");
+        a.set(0, 0, 1.0);
+        b.set(0, 0, 2.0);
+        b.set(3, 4, -1.5);
+        let c = Heatmap::combine(&[a, b]);
+        assert_eq!(c.cells[0][0], 3.0);
+        assert_eq!(c.cells[3][4], -1.5);
+    }
+
+    #[test]
+    fn sign_stability_counts_consistent_cells() {
+        let a = Heatmap::default_production();
+        let mut b = a.clone();
+        // Flip one cell's sign in b.
+        b.cells[0][0] = -b.cells[0][0] - 0.1;
+        let stability = Heatmap::sign_stability(&[a.clone(), b]);
+        let expect = 1.0 - 1.0 / (ROWS * COLS) as f64;
+        assert!((stability - expect).abs() < 1e-9);
+        assert_eq!(Heatmap::sign_stability(&[a.clone(), a.clone()]), 1.0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = Heatmap::default_production().render();
+        for e in PREFILL_EDGES {
+            assert!(s.contains(&format!("{e}tok")));
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! Job Executor: frontend dispatch and the distributed scheduling policy
+//! (Algorithm 1).
+//!
+//! ```text
+//! Function dist_sched(req, tes):
+//!     tes <- PD_aware(req, tes)
+//!     if tes.is_load_balanced():
+//!         tes <- locality_aware(req, tes)
+//!     else:
+//!         tes <- load_aware(req, tes)
+//!     return tes
+//! ```
+//!
+//! `PD_aware` consults the combined heatmap with the request's prefill
+//! length and *predicted* decode length (`select_tes_PD_heatmap`);
+//! `locality_aware` walks the global prompt tree
+//! (`select_tes_prefix_match`); `load_aware` picks the least-loaded TE.
+
+use crate::api::ApiRequest;
+use crate::heatmap::Heatmap;
+use crate::predictor::DecodePredictor;
+use crate::prompt_tree::{GlobalPromptTree, TeId};
+use simcore::{Counters, SimTime};
+use std::collections::HashMap;
+
+/// Scheduling policy selector (the Figure 6 comparison set plus ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Cycle through targets regardless of anything.
+    RoundRobin,
+    /// Least-loaded target only.
+    LoadAware,
+    /// Longest prefix match only (load ignored).
+    LocalityAware,
+    /// Heatmap-based type selection, then least load.
+    PdAware,
+    /// The full Algorithm 1: PD-aware + locality-aware + load-aware.
+    Combined,
+}
+
+/// Where a request should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// One PD-colocated TE.
+    Colocated(TeId),
+    /// A prefill/decode TE pair.
+    Disaggregated {
+        /// Prefill-side TE.
+        prefill: TeId,
+        /// Decode-side TE.
+        decode: TeId,
+    },
+}
+
+impl Target {
+    /// The TE whose cache locality matters (colocated TE or prefill TE).
+    pub fn locality_te(&self) -> TeId {
+        match *self {
+            Target::Colocated(t) => t,
+            Target::Disaggregated { prefill, .. } => prefill,
+        }
+    }
+}
+
+/// Point-in-time load view of one TE, provided by the platform each
+/// scheduling decision (the TE-shell's health/load reporting).
+#[derive(Debug, Clone, Copy)]
+pub struct TeSnapshot {
+    /// Requests queued + running on the TE.
+    pub load: usize,
+}
+
+/// The schedulable pool: colocated TEs and disaggregated pairs, plus their
+/// load snapshots.
+#[derive(Debug, Default)]
+pub struct SchedPool {
+    /// PD-colocated TEs.
+    pub colocated: Vec<TeId>,
+    /// (prefill TE, decode TE) pairs.
+    pub pairs: Vec<(TeId, TeId)>,
+    /// Load per TE.
+    pub loads: HashMap<TeId, TeSnapshot>,
+}
+
+impl SchedPool {
+    fn load(&self, te: TeId) -> usize {
+        self.loads.get(&te).map_or(0, |s| s.load)
+    }
+
+    /// Load of a pair = load of its more loaded half (either half
+    /// saturating stalls the pipeline).
+    fn pair_load(&self, pair: (TeId, TeId)) -> usize {
+        self.load(pair.0).max(self.load(pair.1))
+    }
+}
+
+/// The scheduling outcome, with the intermediate signals for
+/// observability/benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision {
+    /// Where to run.
+    pub target: Target,
+    /// Predicted decode length used by PD-aware.
+    pub predicted_decode: u32,
+    /// Heatmap cell value consulted (0 when PD-aware was skipped).
+    pub heat: f64,
+    /// Prompt-tree match length at the chosen locality TE, in tokens.
+    pub matched_tokens: usize,
+}
+
+/// The model-serving Job Executor.
+pub struct JobExecutor {
+    policy: Policy,
+    heatmap: Heatmap,
+    predictor: Box<dyn DecodePredictor>,
+    /// Global prompt tree for colocated TEs.
+    tree_colocated: GlobalPromptTree,
+    /// Global prompt tree for prefill TEs.
+    tree_prefill: GlobalPromptTree,
+    /// Load-imbalance threshold for `is_load_balanced` (absolute request
+    /// spread).
+    pub balance_threshold: usize,
+    /// Overload spill-over: when the heatmap-preferred TE type's
+    /// least-loaded target carries more than `overload_factor` x the other
+    /// type's least-loaded target (plus the balance threshold), the
+    /// preference is overridden. This is the "dynamics of online serving"
+    /// part of the PD-aware policy (§5.3.2): a correct static preference
+    /// must not pile the whole workload onto a saturated subgroup.
+    pub overload_factor: f64,
+    rr_cursor: usize,
+    counters: Counters,
+}
+
+impl JobExecutor {
+    /// Creates a JE with the given policy, heatmap and predictor.
+    pub fn new(
+        policy: Policy,
+        heatmap: Heatmap,
+        predictor: Box<dyn DecodePredictor>,
+        block_size: usize,
+    ) -> Self {
+        JobExecutor {
+            policy,
+            heatmap,
+            predictor,
+            tree_colocated: GlobalPromptTree::new(block_size, 200_000),
+            tree_prefill: GlobalPromptTree::new(block_size, 200_000),
+            balance_threshold: 4,
+            overload_factor: 2.0,
+            rr_cursor: 0,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Replaces the heatmap (e.g. after a profiling pass).
+    pub fn set_heatmap(&mut self, heatmap: Heatmap) {
+        self.heatmap = heatmap;
+    }
+
+    /// Scheduling statistics.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// TE -> JE tree sync: a TE reports it now caches `tokens`' prefix.
+    pub fn note_cached(&mut self, now: SimTime, te: TeId, is_prefill_te: bool, tokens: &[flowserve::TokenId]) {
+        if is_prefill_te {
+            self.tree_prefill.insert(now, te, tokens);
+        } else {
+            self.tree_colocated.insert(now, te, tokens);
+        }
+    }
+
+    /// Forgets a TE (scale-down / failure).
+    pub fn note_te_removed(&mut self, te: TeId) {
+        self.tree_colocated.remove_te(te);
+        self.tree_prefill.remove_te(te);
+    }
+
+    /// Algorithm 1 entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn schedule(&mut self, now: SimTime, req: &ApiRequest, pool: &SchedPool) -> Decision {
+        assert!(
+            !pool.colocated.is_empty() || !pool.pairs.is_empty(),
+            "dist_sched: empty TE pool"
+        );
+        let _ = now;
+        let predicted = self.predictor.predict(req);
+        match self.policy {
+            Policy::RoundRobin => self.round_robin(req, pool, predicted),
+            Policy::LoadAware => self.load_only(req, pool, predicted),
+            Policy::LocalityAware => self.locality_only(req, pool, predicted),
+            Policy::PdAware => self.pd_then_load(req, pool, predicted),
+            Policy::Combined => self.combined(req, pool, predicted),
+        }
+    }
+
+    // ---- policies ----
+
+    fn round_robin(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+        let slots = pool.colocated.len() + pool.pairs.len();
+        let slot = self.rr_cursor % slots;
+        self.rr_cursor += 1;
+        let target = if slot < pool.colocated.len() {
+            Target::Colocated(pool.colocated[slot])
+        } else {
+            let (p, d) = pool.pairs[slot - pool.colocated.len()];
+            Target::Disaggregated {
+                prefill: p,
+                decode: d,
+            }
+        };
+        self.counters.incr("je.rr");
+        Decision {
+            target,
+            predicted_decode: predicted,
+            heat: 0.0,
+            matched_tokens: self.match_at(req, target),
+        }
+    }
+
+    fn load_only(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+        let target = self.least_loaded_any(pool);
+        self.counters.incr("je.load");
+        Decision {
+            target,
+            predicted_decode: predicted,
+            heat: 0.0,
+            matched_tokens: self.match_at(req, target),
+        }
+    }
+
+    fn locality_only(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+        let target = self
+            .best_locality(req, pool, /*colocated=*/ true)
+            .or_else(|| self.best_locality(req, pool, false))
+            .unwrap_or_else(|| self.least_loaded_any(pool));
+        self.counters.incr("je.locality");
+        Decision {
+            target,
+            predicted_decode: predicted,
+            heat: 0.0,
+            matched_tokens: self.match_at(req, target),
+        }
+    }
+
+    fn pd_then_load(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+        let (subgroup, heat) = self.select_tes_pd_heatmap(req, pool, predicted);
+        let target = self.least_loaded_in(pool, &subgroup);
+        self.counters.incr("je.pd");
+        Decision {
+            target,
+            predicted_decode: predicted,
+            heat,
+            matched_tokens: self.match_at(req, target),
+        }
+    }
+
+    /// Algorithm 1: PD-aware narrows the group; balanced -> locality,
+    /// imbalanced -> load.
+    fn combined(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+        let (subgroup, heat) = self.select_tes_pd_heatmap(req, pool, predicted);
+        let target = if self.is_load_balanced(pool, &subgroup) {
+            self.counters.incr("je.combined_locality");
+            self.select_tes_prefix_match(req, pool, &subgroup)
+                .unwrap_or_else(|| self.least_loaded_in(pool, &subgroup))
+        } else {
+            self.counters.incr("je.combined_load");
+            self.least_loaded_in(pool, &subgroup)
+        };
+        Decision {
+            target,
+            predicted_decode: predicted,
+            heat,
+            matched_tokens: self.match_at(req, target),
+        }
+    }
+
+    // ---- Algorithm 1 helpers ----
+
+    /// `select_tes_PD_heatmap`: positive cell -> disaggregated pairs,
+    /// negative -> colocated; falls back when the preferred type has no
+    /// instances. Returns candidate targets plus the cell value.
+    fn select_tes_pd_heatmap(
+        &mut self,
+        req: &ApiRequest,
+        pool: &SchedPool,
+        predicted: u32,
+    ) -> (Vec<Target>, f64) {
+        let heat = self.heatmap.lookup(req.prefill_len(), predicted);
+        let mut prefer_disagg = heat >= 0.0;
+        let disagg: Vec<Target> = pool
+            .pairs
+            .iter()
+            .map(|&(p, d)| Target::Disaggregated {
+                prefill: p,
+                decode: d,
+            })
+            .collect();
+        let coloc: Vec<Target> = pool.colocated.iter().map(|&t| Target::Colocated(t)).collect();
+        // Overload spill-over: override a static preference whose best
+        // target is drowning while the other type has headroom.
+        if !disagg.is_empty() && !coloc.is_empty() {
+            let min_disagg = pool
+                .pairs
+                .iter()
+                .map(|&p| pool.pair_load(p))
+                .min()
+                .unwrap_or(0) as f64;
+            let min_coloc = pool
+                .colocated
+                .iter()
+                .map(|&t| pool.load(t))
+                .min()
+                .unwrap_or(0) as f64;
+            let thresh = self.balance_threshold as f64;
+            if prefer_disagg && min_disagg > self.overload_factor * min_coloc + thresh {
+                prefer_disagg = false;
+                self.counters.incr("je.heatmap_overridden");
+            } else if !prefer_disagg && min_coloc > self.overload_factor * min_disagg + thresh {
+                prefer_disagg = true;
+                self.counters.incr("je.heatmap_overridden");
+            }
+        }
+        let chosen = if prefer_disagg && !disagg.is_empty() {
+            self.counters.incr("je.heatmap_disagg");
+            disagg
+        } else if !prefer_disagg && !coloc.is_empty() {
+            self.counters.incr("je.heatmap_coloc");
+            coloc
+        } else if !coloc.is_empty() {
+            coloc
+        } else {
+            disagg
+        };
+        (chosen, heat)
+    }
+
+    /// `select_tes_prefix_match`: longest global-prompt-tree match within
+    /// the subgroup; `None` when nothing matches.
+    fn select_tes_prefix_match(
+        &self,
+        req: &ApiRequest,
+        _pool: &SchedPool,
+        subgroup: &[Target],
+    ) -> Option<Target> {
+        let coloc_matches = self.tree_colocated.match_tokens(&req.prompt);
+        let prefill_matches = self.tree_prefill.match_tokens(&req.prompt);
+        subgroup
+            .iter()
+            .filter_map(|&t| {
+                let m = match t {
+                    Target::Colocated(te) => coloc_matches.get(&te).copied(),
+                    Target::Disaggregated { prefill, .. } => prefill_matches.get(&prefill).copied(),
+                };
+                m.map(|tokens| (t, tokens))
+            })
+            .max_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then_with(|| b.0.locality_te().cmp(&a.0.locality_te()))
+            })
+            .map(|(t, _)| t)
+    }
+
+    fn is_load_balanced(&self, pool: &SchedPool, subgroup: &[Target]) -> bool {
+        let loads: Vec<usize> = subgroup
+            .iter()
+            .map(|&t| match t {
+                Target::Colocated(te) => pool.load(te),
+                Target::Disaggregated { prefill, decode } => pool.pair_load((prefill, decode)),
+            })
+            .collect();
+        match (loads.iter().max(), loads.iter().min()) {
+            (Some(&max), Some(&min)) => max - min <= self.balance_threshold,
+            _ => true,
+        }
+    }
+
+    fn least_loaded_in(&self, pool: &SchedPool, subgroup: &[Target]) -> Target {
+        *subgroup
+            .iter()
+            .min_by_key(|&&t| match t {
+                Target::Colocated(te) => (pool.load(te), te),
+                Target::Disaggregated { prefill, decode } => {
+                    (pool.pair_load((prefill, decode)), prefill)
+                }
+            })
+            .expect("subgroup is non-empty by construction")
+    }
+
+    fn least_loaded_any(&self, pool: &SchedPool) -> Target {
+        let mut all: Vec<Target> = pool.colocated.iter().map(|&t| Target::Colocated(t)).collect();
+        all.extend(pool.pairs.iter().map(|&(p, d)| Target::Disaggregated {
+            prefill: p,
+            decode: d,
+        }));
+        self.least_loaded_in(pool, &all)
+    }
+
+    fn best_locality(&self, req: &ApiRequest, pool: &SchedPool, colocated: bool) -> Option<Target> {
+        if colocated {
+            let m = self.tree_colocated.match_tokens(&req.prompt);
+            pool.colocated
+                .iter()
+                .filter_map(|&te| m.get(&te).map(|&tok| (te, tok)))
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .map(|(te, _)| Target::Colocated(te))
+        } else {
+            let m = self.tree_prefill.match_tokens(&req.prompt);
+            pool.pairs
+                .iter()
+                .filter_map(|&(p, d)| m.get(&p).map(|&tok| ((p, d), tok)))
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| (b.0).0.cmp(&(a.0).0)))
+                .map(|((p, d), _)| Target::Disaggregated {
+                    prefill: p,
+                    decode: d,
+                })
+        }
+    }
+
+    fn match_at(&self, req: &ApiRequest, target: Target) -> usize {
+        match target {
+            Target::Colocated(te) => self
+                .tree_colocated
+                .match_tokens(&req.prompt)
+                .get(&te)
+                .copied()
+                .unwrap_or(0),
+            Target::Disaggregated { prefill, .. } => self
+                .tree_prefill
+                .match_tokens(&req.prompt)
+                .get(&prefill)
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::Oracle;
+    use flowserve::synthetic_tokens;
+
+    fn req(id: u64, seed: u64, prefill: usize, output: u32) -> ApiRequest {
+        ApiRequest::chat(
+            id,
+            synthetic_tokens(seed, prefill, 64_000),
+            output,
+            SimTime::ZERO,
+        )
+    }
+
+    fn pool_2c_1pair() -> SchedPool {
+        let mut loads = HashMap::new();
+        for t in [0, 1, 2, 3] {
+            loads.insert(TeId(t), TeSnapshot { load: 0 });
+        }
+        SchedPool {
+            colocated: vec![TeId(0), TeId(1)],
+            pairs: vec![(TeId(2), TeId(3))],
+            loads,
+        }
+    }
+
+    fn je(policy: Policy) -> JobExecutor {
+        JobExecutor::new(
+            policy,
+            Heatmap::default_production(),
+            Box::new(Oracle),
+            16,
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles_all_slots() {
+        let mut j = je(Policy::RoundRobin);
+        let pool = pool_2c_1pair();
+        let r = req(1, 1, 1024, 128);
+        let t1 = j.schedule(SimTime::ZERO, &r, &pool).target;
+        let t2 = j.schedule(SimTime::ZERO, &r, &pool).target;
+        let t3 = j.schedule(SimTime::ZERO, &r, &pool).target;
+        let t4 = j.schedule(SimTime::ZERO, &r, &pool).target;
+        assert_eq!(t1, Target::Colocated(TeId(0)));
+        assert_eq!(t2, Target::Colocated(TeId(1)));
+        assert_eq!(
+            t3,
+            Target::Disaggregated {
+                prefill: TeId(2),
+                decode: TeId(3)
+            }
+        );
+        assert_eq!(t4, t1, "wraps around");
+    }
+
+    #[test]
+    fn pd_aware_sends_long_prefill_short_decode_to_disagg() {
+        let mut j = je(Policy::PdAware);
+        let pool = pool_2c_1pair();
+        // Long prefill, tiny decode: heatmap strongly positive.
+        let d = j.schedule(SimTime::ZERO, &req(1, 1, 8192, 64), &pool);
+        assert!(d.heat > 0.0);
+        assert!(matches!(d.target, Target::Disaggregated { .. }));
+        // Short prefill, long decode: colocated.
+        let d2 = j.schedule(SimTime::ZERO, &req(2, 2, 256, 512), &pool);
+        assert!(d2.heat < 0.0);
+        assert!(matches!(d2.target, Target::Colocated(_)));
+    }
+
+    #[test]
+    fn pd_aware_falls_back_when_type_missing() {
+        let mut j = je(Policy::PdAware);
+        let mut pool = pool_2c_1pair();
+        pool.pairs.clear(); // no disaggregated TEs at all
+        let d = j.schedule(SimTime::ZERO, &req(1, 1, 8192, 64), &pool);
+        assert!(matches!(d.target, Target::Colocated(_)));
+    }
+
+    #[test]
+    fn locality_routes_repeat_prompts_to_same_te() {
+        let mut j = je(Policy::Combined);
+        let pool = pool_2c_1pair();
+        // Pick a shape the heatmap sends to colocated TEs.
+        let r = req(1, 5, 512, 400);
+        let d1 = j.schedule(SimTime::ZERO, &r, &pool);
+        let te = match d1.target {
+            Target::Colocated(te) => te,
+            other => panic!("expected colocated, got {other:?}"),
+        };
+        // TE reports it cached the prompt.
+        j.note_cached(SimTime::ZERO, te, false, &r.prompt);
+        // Same prompt again: must go back to the same TE with a match.
+        let d2 = j.schedule(SimTime::ZERO, &req(2, 5, 512, 400), &pool);
+        assert_eq!(d2.target, Target::Colocated(te));
+        assert!(d2.matched_tokens >= 512 - 16);
+    }
+
+    #[test]
+    fn imbalance_overrides_locality() {
+        let mut j = je(Policy::Combined);
+        let mut pool = pool_2c_1pair();
+        let r = req(1, 5, 512, 400);
+        // TE 0 holds the cache but is massively loaded.
+        j.note_cached(SimTime::ZERO, TeId(0), false, &r.prompt);
+        pool.loads.insert(TeId(0), TeSnapshot { load: 50 });
+        let d = j.schedule(SimTime::ZERO, &req(2, 5, 512, 400), &pool);
+        assert_eq!(
+            d.target,
+            Target::Colocated(TeId(1)),
+            "load-aware must beat locality when imbalanced"
+        );
+    }
+
+    #[test]
+    fn balanced_load_prefers_locality() {
+        let mut j = je(Policy::Combined);
+        let mut pool = pool_2c_1pair();
+        let r = req(1, 5, 512, 400);
+        j.note_cached(SimTime::ZERO, TeId(1), false, &r.prompt);
+        // Loads within threshold.
+        pool.loads.insert(TeId(0), TeSnapshot { load: 1 });
+        pool.loads.insert(TeId(1), TeSnapshot { load: 3 });
+        let d = j.schedule(SimTime::ZERO, &req(2, 5, 512, 400), &pool);
+        assert_eq!(d.target, Target::Colocated(TeId(1)));
+    }
+
+    #[test]
+    fn load_aware_picks_least_loaded() {
+        let mut j = je(Policy::LoadAware);
+        let mut pool = pool_2c_1pair();
+        pool.loads.insert(TeId(0), TeSnapshot { load: 9 });
+        pool.loads.insert(TeId(1), TeSnapshot { load: 2 });
+        pool.loads.insert(TeId(2), TeSnapshot { load: 9 });
+        pool.loads.insert(TeId(3), TeSnapshot { load: 9 });
+        let d = j.schedule(SimTime::ZERO, &req(1, 1, 1024, 64), &pool);
+        assert_eq!(d.target, Target::Colocated(TeId(1)));
+    }
+
+    #[test]
+    fn te_removal_clears_locality() {
+        let mut j = je(Policy::LocalityAware);
+        let pool = pool_2c_1pair();
+        let r = req(1, 5, 512, 64);
+        j.note_cached(SimTime::ZERO, TeId(0), false, &r.prompt);
+        j.note_te_removed(TeId(0));
+        let d = j.schedule(SimTime::ZERO, &req(2, 5, 512, 64), &pool);
+        assert_eq!(d.matched_tokens, 0);
+    }
+
+    #[test]
+    fn overload_spills_to_the_other_type() {
+        let mut j = je(Policy::PdAware);
+        let mut pool = pool_2c_1pair();
+        // The lone pair is drowning; colocated TEs are idle.
+        pool.loads.insert(TeId(2), TeSnapshot { load: 40 });
+        pool.loads.insert(TeId(3), TeSnapshot { load: 40 });
+        // Shape prefers disaggregation, but the guard must override.
+        let d = j.schedule(SimTime::ZERO, &req(1, 1, 8192, 64), &pool);
+        assert!(d.heat > 0.0);
+        assert!(matches!(d.target, Target::Colocated(_)));
+        assert_eq!(j.counters().get("je.heatmap_overridden"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty TE pool")]
+    fn empty_pool_panics() {
+        let mut j = je(Policy::Combined);
+        let pool = SchedPool::default();
+        j.schedule(SimTime::ZERO, &req(1, 1, 100, 10), &pool);
+    }
+}

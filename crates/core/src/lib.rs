@@ -1,0 +1,44 @@
+//! # deepserve — the serverless LLM serving platform
+//!
+//! Rust reproduction of DeepServe (published at USENIX ATC '25; "DeepFlow"
+//! in the arXiv preprint), Huawei Cloud's serverless AI platform. This
+//! crate is the paper's primary contribution: everything above the
+//! FlowServe engine.
+//!
+//! * [`api`] — the request–job–task serverless abstraction (§3).
+//! * [`je`] — Job Executors and the distributed scheduling policy
+//!   (Algorithm 1: PD-aware + locality-aware + load-aware, §5).
+//! * [`prompt_tree`] — the JE-side global prompt trees sharing an index
+//!   with TE-local RTC radix trees (§5.2).
+//! * [`heatmap`] — the profiled PD-disaggregated vs PD-colocated heatmap
+//!   and `select_tes_PD_heatmap` (§5.3).
+//! * [`predictor`] — decode-length predictors (oracle / 90%-accurate
+//!   production predictor, §5.3.2).
+//! * [`manager`] — the cluster manager: pre-warmed pod/TE pools,
+//!   predictive DRAM pre-loading, the AUTOSCALER (§3, §6).
+//! * [`scaling`] — the five-step scaling pipeline with every optimization
+//!   of Table 2, plus the TE-Load paths (DRAM-hit/miss, NPU-fork) (§6).
+//! * [`cluster`] — the cluster simulation composing JEs, TEs, the fabric
+//!   and workloads (the testbed for Figures 4–6).
+
+pub mod api;
+pub mod cluster;
+pub mod heatmap;
+pub mod je;
+pub mod manager;
+pub mod predictor;
+pub mod prompt_tree;
+pub mod scaling;
+
+pub use api::{materialize, materialize_trace, ApiRequest, Endpoint, Job, JobKind, Slo, TaskKind};
+pub use cluster::{ClusterConfig, ClusterSim, RunReport, TeRole};
+pub use heatmap::Heatmap;
+pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
+pub use manager::{
+    Autoscaler, AutoscalerConfig, AutoscaleSignal, PodPool, PreloadManager, ScaleAction, TePool,
+};
+pub use predictor::{Constant, DecodePredictor, FixedAccuracy, Oracle};
+pub use prompt_tree::{GlobalPromptTree, TeId};
+pub use scaling::{
+    LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad,
+};

@@ -1,0 +1,190 @@
+//! Full-platform scenarios: JE scheduling over colocated and disaggregated
+//! TE pools, serving synthetic production traces. These are the same code
+//! paths the Figure 4/5/6 benches sweep; here we pin the qualitative
+//! behaviours as regressions.
+
+use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, RunReport, TeRole};
+use simcore::SimRng;
+use workloads::{ChatTrace, CodeGenTrace, SharedPrefixChat};
+
+fn run(
+    policy: Policy,
+    roles: &[TeRole],
+    reqs: Vec<deepserve::ApiRequest>,
+) -> RunReport {
+    let cfg = ClusterConfig {
+        policy,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, roles);
+    sim.inject(reqs);
+    let report = sim.run_to_completion();
+    let (done, sub) = sim.progress();
+    assert_eq!(done, sub, "all submitted requests must complete");
+    report
+}
+
+fn chat(rps: f64, count: usize, seed: u64) -> Vec<deepserve::ApiRequest> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    materialize_trace(&ChatTrace::paper(rps).generate(&mut rng, count), 64_000)
+}
+
+#[test]
+fn colocated_pool_serves_chat_trace() {
+    let mut report = run(
+        Policy::Combined,
+        &[TeRole::Colocated, TeRole::Colocated],
+        chat(0.4, 60, 1),
+    );
+    assert_eq!(report.latency.completed(), 60);
+    let ttft = report.latency.ttft_ms();
+    let tpot = report.latency.tpot_ms();
+    // 2K prefill on a 34B TP4 engine: sub-second to a few seconds TTFT at
+    // low load; decode in the tens of ms.
+    assert!(ttft.p50 > 50.0 && ttft.p50 < 5_000.0, "TTFT p50 {}", ttft.p50);
+    assert!(tpot.p50 > 5.0 && tpot.p50 < 80.0, "TPOT p50 {}", tpot.p50);
+    assert!(report.throughput() > 10.0, "throughput {}", report.throughput());
+}
+
+#[test]
+fn disaggregated_pair_serves_end_to_end() {
+    let report = run(
+        Policy::Combined,
+        &[TeRole::Prefill, TeRole::Decode],
+        chat(0.4, 40, 2),
+    );
+    assert_eq!(report.latency.completed(), 40);
+    assert_eq!(report.counters.get("sim.routed_disaggregated"), 40);
+    assert_eq!(report.counters.get("sim.kv_migrations"), 40);
+    assert!(report.counters.get("sim.kv_bytes_migrated") > 0);
+}
+
+#[test]
+fn disagg_lowers_tpot_at_matched_throughput() {
+    // Figure 4's headline: at the same offered load, PD-disaggregation
+    // yields lower TPOT than colocated serving because decode never
+    // contends with prefill.
+    let load = || chat(0.8, 150, 3);
+    let mut coloc = run(
+        Policy::Combined,
+        &[TeRole::Colocated; 4],
+        load(),
+    );
+    let mut disagg = run(
+        Policy::Combined,
+        &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode, TeRole::Decode],
+        load(),
+    );
+    let c = coloc.latency.tpot_ms();
+    let d = disagg.latency.tpot_ms();
+    assert!(
+        d.p90 < c.p90,
+        "disagg TPOT p90 {} should beat colocated {}",
+        d.p90,
+        c.p90
+    );
+}
+
+#[test]
+fn locality_policy_beats_load_only_on_shared_prefix_traffic() {
+    let trace = |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        materialize_trace(
+            &SharedPrefixChat::standard(1.0).generate(&mut rng, 120),
+            64_000,
+        )
+    };
+    let roles = [TeRole::Colocated, TeRole::Colocated, TeRole::Colocated];
+    let combined = run(Policy::Combined, &roles, trace(4));
+    let load_only = run(Policy::LoadAware, &roles, trace(4));
+    let hits_combined: u64 = combined.counters.get("sim.completed"); // sanity
+    assert_eq!(hits_combined, 120);
+    // The real check: cache-hit volume. Extract from TE busy time proxy:
+    // locality routing must not be slower end-to-end.
+    let mut c = combined;
+    let mut l = load_only;
+    let jc = c.latency.ttft_ms();
+    let jl = l.latency.ttft_ms();
+    assert!(
+        jc.mean <= jl.mean * 1.02,
+        "locality TTFT mean {} should not lose to load-only {}",
+        jc.mean,
+        jl.mean
+    );
+}
+
+#[test]
+fn pd_aware_routes_by_shape() {
+    // Long-prefill/short-decode goes disaggregated; short-prefill/
+    // long-decode goes colocated (heatmap policy, §5.3).
+    let mut rng = SimRng::seed_from_u64(9);
+    let mut specs = Vec::new();
+    for i in 0..30 {
+        specs.push(workloads::ReqSpec {
+            arrival: simcore::SimTime::from_millis(1_500 * i as u64),
+            prompt_seed: rng.next_u64(),
+            prompt_len: if i % 2 == 0 { 6144 } else { 256 },
+            shared_prefix: None,
+            output_len: if i % 2 == 0 { 64 } else { 512 },
+        });
+    }
+    let reqs = materialize_trace(&specs, 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        predictor_accuracy: None, // oracle: deterministic routing
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(
+        cfg,
+        &[
+            TeRole::Colocated,
+            TeRole::Colocated,
+            TeRole::Prefill,
+            TeRole::Decode,
+        ],
+    );
+    sim.inject(reqs);
+    let report = sim.run_to_completion();
+    assert_eq!(report.latency.completed(), 30);
+    assert_eq!(report.counters.get("sim.routed_disaggregated"), 15);
+    assert_eq!(report.counters.get("sim.routed_colocated"), 15);
+}
+
+#[test]
+fn code_gen_trace_exercises_prefix_reuse() {
+    let mut rng = SimRng::seed_from_u64(12);
+    let reqs = materialize_trace(
+        &CodeGenTrace::paper(1.0).generate(&mut rng, 100),
+        64_000,
+    );
+    let report = run(
+        Policy::Combined,
+        &[TeRole::Colocated, TeRole::Colocated],
+        reqs,
+    );
+    assert_eq!(report.latency.completed(), 100);
+}
+
+#[test]
+fn cluster_replay_is_deterministic() {
+    let go = || {
+        let mut r = run(
+            Policy::Combined,
+            &[TeRole::Colocated, TeRole::Prefill, TeRole::Decode],
+            chat(1.0, 80, 7),
+        );
+        let l = r.latency.jct_ms();
+        (r.latency.completed(), l.mean.to_bits(), l.p99.to_bits())
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn overload_degrades_gracefully_not_fatally() {
+    // Offered load well above one TE's capacity: queueing explodes but
+    // every request still completes and ordering stays sane.
+    let mut report = run(Policy::Combined, &[TeRole::Colocated], chat(4.0, 120, 8));
+    assert_eq!(report.latency.completed(), 120);
+    let jct = report.latency.jct_ms();
+    assert!(jct.p99 > jct.p50, "queueing must show in the tail");
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for platform-layer invariants: the distributed
+//! scheduler, the heatmap, the autoscaler, and the scaling cost model.
+
+use deepserve::{
+    ApiRequest, Autoscaler, AutoscalerConfig, AutoscaleSignal, Heatmap, JobExecutor, LoadPath,
+    Oracle, Policy, ScaleAction, ScalingModel, ScalingOptimizations, SchedPool, SourceLoad,
+    Target, TeId, TeSnapshot,
+};
+use flowserve::synthetic_tokens;
+use llm_model::{Checkpoint, ModelSpec, Parallelism};
+use npu::pagecache::FileId;
+use npu::specs::ClusterSpec;
+use proptest::prelude::*;
+use simcore::SimTime;
+use std::collections::HashMap;
+
+fn pool(n_coloc: usize, n_pairs: usize, loads: &[usize]) -> SchedPool {
+    let mut p = SchedPool::default();
+    let mut id = 0u32;
+    for _ in 0..n_coloc {
+        p.colocated.push(TeId(id));
+        id += 1;
+    }
+    for _ in 0..n_pairs {
+        p.pairs.push((TeId(id), TeId(id + 1)));
+        id += 2;
+    }
+    let mut loads_map = HashMap::new();
+    for t in 0..id {
+        loads_map.insert(
+            TeId(t),
+            TeSnapshot {
+                load: loads.get(t as usize).copied().unwrap_or(0),
+            },
+        );
+    }
+    p.loads = loads_map;
+    p
+}
+
+proptest! {
+    /// Every policy always returns a target that exists in the pool.
+    #[test]
+    fn scheduler_targets_are_in_pool(
+        n_coloc in 0usize..4,
+        n_pairs in 0usize..3,
+        loads in prop::collection::vec(0usize..50, 10),
+        prefill in 1usize..10_000,
+        output in 1u32..2_000,
+        policy_idx in 0usize..5,
+    ) {
+        prop_assume!(n_coloc + n_pairs > 0);
+        let policy = [
+            Policy::RoundRobin,
+            Policy::LoadAware,
+            Policy::LocalityAware,
+            Policy::PdAware,
+            Policy::Combined,
+        ][policy_idx];
+        let p = pool(n_coloc, n_pairs, &loads);
+        let mut je = JobExecutor::new(
+            policy,
+            Heatmap::default_production(),
+            Box::new(Oracle),
+            16,
+        );
+        let req = ApiRequest::chat(1, synthetic_tokens(1, prefill, 64_000), output, SimTime::ZERO);
+        let d = je.schedule(SimTime::ZERO, &req, &p);
+        match d.target {
+            Target::Colocated(te) => prop_assert!(p.colocated.contains(&te)),
+            Target::Disaggregated { prefill, decode } => {
+                prop_assert!(p.pairs.contains(&(prefill, decode)));
+            }
+        }
+        prop_assert!(d.predicted_decode >= 1);
+    }
+
+    /// Load-aware scheduling never picks a strictly more loaded colocated
+    /// TE than the minimum.
+    #[test]
+    fn load_aware_is_greedy(loads in prop::collection::vec(0usize..100, 4)) {
+        let p = pool(4, 0, &loads);
+        let mut je = JobExecutor::new(
+            Policy::LoadAware,
+            Heatmap::default_production(),
+            Box::new(Oracle),
+            16,
+        );
+        let req = ApiRequest::chat(1, synthetic_tokens(1, 512, 64_000), 100, SimTime::ZERO);
+        let d = je.schedule(SimTime::ZERO, &req, &p);
+        let Target::Colocated(te) = d.target else {
+            return Err(TestCaseError::fail("no pairs configured"));
+        };
+        let min = loads.iter().copied().min().unwrap_or(0);
+        prop_assert_eq!(loads[te.0 as usize], min);
+    }
+
+    /// Heatmap bucketing is monotone: longer prefill never maps to a lower
+    /// row; higher ratio never maps to a lower column.
+    #[test]
+    fn heatmap_buckets_are_monotone(a in 1usize..40_000, b in 1usize..40_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(Heatmap::prefill_bucket(lo) <= Heatmap::prefill_bucket(hi));
+        let (rl, rh) = (lo as f64 / 1000.0, hi as f64 / 1000.0);
+        prop_assert!(Heatmap::ratio_bucket(rl) <= Heatmap::ratio_bucket(rh));
+    }
+
+    /// The autoscaler never exceeds its bounds in either direction.
+    #[test]
+    fn autoscaler_respects_bounds(
+        load in 0usize..10_000,
+        active in 0usize..100,
+        scaling in 0usize..20,
+        viol in 0.0f64..1.0,
+    ) {
+        let cfg = AutoscalerConfig {
+            min_tes: 2,
+            max_tes: 32,
+            ..AutoscalerConfig::default()
+        };
+        let mut a = Autoscaler::new(cfg);
+        let action = a.decide(SimTime::ZERO, AutoscaleSignal {
+            total_load: load,
+            active_tes: active,
+            scaling_tes: scaling,
+            slo_violation_rate: viol,
+        });
+        match action {
+            Some(ScaleAction::Up(n)) => {
+                prop_assert!(active + scaling + n <= 32);
+                prop_assert!(n >= 1);
+            }
+            Some(ScaleAction::Down(n)) => {
+                prop_assert!(active - n >= 2);
+                prop_assert!(n >= 1);
+            }
+            None => {}
+        }
+    }
+
+    /// Scaling cost model: optimizations never make any step slower, for
+    /// any model/parallelism in the catalog.
+    #[test]
+    fn optimizations_never_hurt(model_idx in 0usize..4, tp_pow in 0u32..4) {
+        let specs = [
+            ModelSpec::generic_7b(),
+            ModelSpec::llama3_8b(),
+            ModelSpec::internal_34b(),
+            ModelSpec::llama3_70b(),
+        ];
+        let spec = specs[model_idx].clone();
+        let tp = 1u32 << tp_pow;
+        prop_assume!(spec.num_kv_heads.is_multiple_of(tp));
+        let par = Parallelism::tp(tp);
+        let m = ScalingModel::new(ClusterSpec::gen2_cluster(4));
+        let ckpt = Checkpoint::new(FileId(1), spec);
+        let before = m.breakdown(
+            &ckpt, par,
+            ScalingOptimizations::none(),
+            LoadPath::DramMiss,
+            SourceLoad::idle(),
+        );
+        let after = m.breakdown(
+            &ckpt, par,
+            ScalingOptimizations::all(),
+            LoadPath::DramHit,
+            SourceLoad::idle(),
+        );
+        prop_assert!(after.scaler_pre <= before.scaler_pre);
+        prop_assert!(after.te_pre_load <= before.te_pre_load);
+        prop_assert!(after.te_load <= before.te_load);
+        prop_assert!(after.te_post_load <= before.te_post_load);
+        prop_assert!(after.scaler_post <= before.scaler_post);
+    }
+
+    /// NPU-fork time is monotone in fan-out and bounded by the pipelined
+    /// broadcast's flatness.
+    #[test]
+    fn fork_monotone_and_flat(f1 in 1usize..64, f2 in 1usize..64) {
+        prop_assume!(f1 < f2);
+        let m = ScalingModel::new(ClusterSpec::gen2_cluster(16));
+        let ckpt = Checkpoint::new(FileId(1), ModelSpec::llama3_8b());
+        let par = Parallelism::tp(1);
+        let t1 = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: f1 }, SourceLoad::idle());
+        let t2 = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: f2 }, SourceLoad::idle());
+        prop_assert!(t2 >= t1, "fork time must be monotone in fan-out");
+        prop_assert!(t2.as_secs_f64() <= 2.0 * t1.as_secs_f64(), "and nearly flat");
+    }
+}

@@ -1,0 +1,203 @@
+//! Data parallelism within a single TE (§4.2).
+//!
+//! "FlowServe supports DP within a single TE instance, optimized for
+//! DeepSeek's multi-latent attention (MLA) to reduce redundant caching.
+//! we define multiple DP groups within FlowServe while retaining its
+//! centralized scheduler, different from SGLang's design of running
+//! distributed schedulers at each executor. Each DP group is assigned a
+//! dedicated RTC replica at the master, ensuring isolated caching and
+//! memory management."
+//!
+//! [`DpEngine`] is that centralized master: one submission surface, `dp`
+//! inner engines each owning its own RTC replica. Routing is
+//! locality-first (a group that already caches the prompt's prefix keeps
+//! it), falling back to least load — the same priorities as the JE-level
+//! scheduler, applied within the TE.
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, EngineEvent, SubmitOutcome};
+use crate::request::NewRequest;
+use crate::rtc::PopulateTicket;
+use llm_model::ExecCostModel;
+use simcore::SimTime;
+
+/// Identifies a DP group within one TE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DpGroup(pub u32);
+
+/// A TE-internal data-parallel engine: a centralized scheduler over `dp`
+/// engine replicas with isolated RTC state.
+pub struct DpEngine {
+    groups: Vec<Engine>,
+}
+
+impl DpEngine {
+    /// Builds `dp` replicas. Each replica prices its own forward passes
+    /// with the same cost model (they are identical hardware slices) and
+    /// owns a dedicated RTC replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dp` is zero.
+    pub fn new(dp: u32, cfg: EngineConfig, cost: ExecCostModel) -> Self {
+        assert!(dp >= 1, "DpEngine: dp must be >= 1");
+        let groups = (0..dp)
+            .map(|_| Engine::new(cfg.clone(), cost.clone()))
+            .collect();
+        DpEngine { groups }
+    }
+
+    /// Number of DP groups.
+    pub fn dp(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// Read access to one group's engine (stats, RTC inspection).
+    pub fn group(&self, g: DpGroup) -> &Engine {
+        &self.groups[g.0 as usize]
+    }
+
+    /// Total requests across all groups.
+    pub fn load(&self) -> usize {
+        self.groups.iter().map(|g| g.load()).sum()
+    }
+
+    /// Centralized routing: prefer the group whose RTC replica holds the
+    /// longest prefix of the prompt (MLA KV is expensive to recompute and,
+    /// being TP-replicated, lives wholly in one group); break ties / cold
+    /// prompts by least load. Returns the chosen group and the engine's
+    /// outcome.
+    pub fn submit(&mut self, now: SimTime, req: NewRequest) -> (DpGroup, SubmitOutcome) {
+        let mut best: (usize, usize, usize) = (0, 0, usize::MAX); // (idx, match, load)
+        for (i, g) in self.groups.iter_mut().enumerate() {
+            let matched = g.rtc_mut().match_by_prefix_token(&req.prompt).tokens;
+            let load = g.load();
+            let better = matched > best.1 || (matched == best.1 && load < best.2);
+            if better {
+                best = (i, matched, load);
+            }
+        }
+        let g = DpGroup(best.0 as u32);
+        let outcome = self.groups[best.0].submit(now, req);
+        (g, outcome)
+    }
+
+    /// Forwards a populate completion to the owning group.
+    pub fn populate_transfer_done(&mut self, now: SimTime, group: DpGroup, ticket: PopulateTicket) {
+        self.groups[group.0 as usize].populate_transfer_done(now, ticket);
+    }
+
+    /// Earliest wake across groups.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        self.groups.iter().filter_map(|g| g.next_wake(now)).min()
+    }
+
+    /// Advances every group due at `now`; events are tagged with their
+    /// group for the caller's bookkeeping.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(DpGroup, EngineEvent)> {
+        let mut out = Vec::new();
+        for (i, g) in self.groups.iter_mut().enumerate() {
+            for ev in g.advance(now) {
+                out.push((DpGroup(i as u32), ev));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use crate::tokenizer::synthetic_tokens;
+    use llm_model::{ModelSpec, Parallelism};
+    use npu::specs::ClusterSpec;
+
+    fn mla_cost() -> ExecCostModel {
+        let c = ClusterSpec::gen2_cluster(1);
+        ExecCostModel::new(
+            c.server.chip.clone(),
+            c.hccs,
+            ModelSpec::deepseek_mla(),
+            Parallelism::tp(4),
+        )
+    }
+
+    fn req(id: u64, seed: u64, len: usize, out: u32, at: SimTime) -> NewRequest {
+        NewRequest {
+            id: RequestId(id),
+            prompt: synthetic_tokens(seed, len, 64_000),
+            target_output: out,
+            arrival: at,
+            cache_id: None,
+        }
+    }
+
+    fn drain(dp: &mut DpEngine, mut now: SimTime) -> (SimTime, usize) {
+        let mut finished = 0;
+        while let Some(w) = dp.next_wake(now) {
+            now = w;
+            for (_, ev) in dp.advance(now) {
+                if matches!(ev, EngineEvent::Finished { .. }) {
+                    finished += 1;
+                }
+            }
+        }
+        (now, finished)
+    }
+
+    #[test]
+    fn cold_requests_spread_by_load() {
+        let mut dp = DpEngine::new(4, EngineConfig::colocated(), mla_cost());
+        let mut groups = std::collections::HashSet::new();
+        for i in 0..4 {
+            let (g, out) = dp.submit(SimTime::ZERO, req(i, 100 + i, 512, 8, SimTime::ZERO));
+            assert!(out.accepted);
+            groups.insert(g);
+        }
+        assert_eq!(groups.len(), 4, "cold prompts must fan out across groups");
+        let (_, finished) = drain(&mut dp, SimTime::ZERO);
+        assert_eq!(finished, 4);
+    }
+
+    #[test]
+    fn repeat_prompt_sticks_to_its_cache_group() {
+        let mut dp = DpEngine::new(4, EngineConfig::colocated(), mla_cost());
+        let (g1, _) = dp.submit(SimTime::ZERO, req(1, 7, 1024, 8, SimTime::ZERO));
+        let (now, _) = drain(&mut dp, SimTime::ZERO);
+        // Load the *other* groups so least-load would pick one of them.
+        let t = now + simcore::SimDuration::from_secs(1);
+        for i in 0..3 {
+            dp.submit(t, req(10 + i, 200 + i, 512, 400, t));
+        }
+        // The repeat prompt must still route to its cache-holding group.
+        let (g2, _) = dp.submit(t, req(2, 7, 1024, 8, t));
+        assert_eq!(g1, g2, "locality must dominate load for cached prompts");
+        drain(&mut dp, t);
+    }
+
+    #[test]
+    fn rtc_replicas_are_isolated() {
+        let mut dp = DpEngine::new(2, EngineConfig::colocated(), mla_cost());
+        let (g, _) = dp.submit(SimTime::ZERO, req(1, 9, 640, 4, SimTime::ZERO));
+        drain(&mut dp, SimTime::ZERO);
+        let prompt = synthetic_tokens(9, 640, 64_000);
+        let holder = dp.group(g).rtc();
+        let other = dp.group(DpGroup(1 - g.0)).rtc();
+        assert!(holder.cached_nodes() > 0);
+        assert_eq!(
+            other.cached_nodes(),
+            0,
+            "the other replica must not see the insertion"
+        );
+        let _ = prompt;
+    }
+
+    #[test]
+    fn wake_aggregation_is_min_over_groups() {
+        let mut dp = DpEngine::new(2, EngineConfig::colocated(), mla_cost());
+        assert!(dp.next_wake(SimTime::ZERO).is_none());
+        dp.submit(SimTime::ZERO, req(1, 1, 256, 4, SimTime::ZERO));
+        assert_eq!(dp.next_wake(SimTime::ZERO), Some(SimTime::ZERO));
+    }
+}

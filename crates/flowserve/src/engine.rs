@@ -1,0 +1,785 @@
+//! The FlowServe engine: master–executor SPMD serving loop.
+//!
+//! One `Engine` is the serving core of one model-serving TE. The master
+//! side (this struct) owns the scheduler, the RTC index and the DistFlow
+//! control plane; the per-NPU executors' forward passes are priced by the
+//! roofline cost model ([`llm_model::ExecCostModel`]) — the DESIGN.md leaf
+//! substitution.
+//!
+//! The engine is driven like every other simulation component: `submit`
+//! requests, ask [`Engine::next_wake`] when something will happen, call
+//! [`Engine::advance`] at that time and collect [`EngineEvent`]s. One
+//! `advance` completes at most one iteration and starts the next one, so
+//! the caller's event loop stays in lock-step with the engine's
+//! continuous-batching loop:
+//!
+//! * **continuous batching** — all decoding sequences step every iteration;
+//! * **chunked prefill** — prompts are sliced into a per-iteration token
+//!   budget and ride along with decode (Sarathi-style, §4.5 "PD-colocated
+//!   (w/ chunked prefill)");
+//! * **async scheduling** (v2/v3) — CPU scheduling overlaps the NPU run, so
+//!   an iteration costs `max(npu, cpu) + residual` instead of the sum
+//!   (§4.2 asynchronous execution);
+//! * **async KV prefetch** — on submit, RTC matches preserved KV; a fitted
+//!   cost model decides whether fetching beats recomputing, and the fetch
+//!   runs off the critical path while other requests execute (§4.2).
+
+use crate::block::BlockId;
+use crate::config::{EngineConfig, EngineMode};
+use crate::request::{EngineRequest, NewRequest, Phase, RequestId};
+use crate::rtc::{PopulateTicket, Rtc, RtcConfig};
+use llm_model::{BatchWork, ExecCostModel};
+use simcore::{Counters, RequestLatency, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// What the engine reports back to its driver.
+#[derive(Debug, Clone)]
+pub enum EngineEvent {
+    /// A request produced its first output token (end of prefill).
+    FirstToken {
+        /// Which request.
+        id: RequestId,
+        /// Emission time.
+        at: SimTime,
+    },
+    /// A request finished all decoding (or was migrated out).
+    Finished {
+        /// Which request.
+        id: RequestId,
+        /// Completion time.
+        at: SimTime,
+        /// End-to-end latency metrics.
+        latency: RequestLatency,
+        /// Prompt length, for reporting.
+        prompt_tokens: usize,
+        /// Prompt tokens served from cache.
+        cached_tokens: usize,
+    },
+    /// Prefill-only mode: KV is ready to ship to a decode TE.
+    PrefillComplete {
+        /// Which request.
+        id: RequestId,
+        /// Completion time of the prefill.
+        at: SimTime,
+        /// KV tokens to transfer.
+        kv_tokens: usize,
+    },
+    /// The request could not be admitted (prompt exceeds KV capacity).
+    Rejected {
+        /// Which request.
+        id: RequestId,
+    },
+}
+
+/// Result of a submission.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Whether the request was admitted.
+    pub accepted: bool,
+    /// An asynchronous KV populate the driver must execute: price
+    /// `tokens` of KV movement and call [`Engine::populate_transfer_done`]
+    /// when the simulated transfer completes.
+    pub populate: Option<PendingPopulate>,
+}
+
+/// A populate handed to the driver for timing.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingPopulate {
+    /// RTC ticket.
+    pub ticket: PopulateTicket,
+    /// Tokens of KV moving DRAM -> HBM.
+    pub tokens: usize,
+}
+
+/// One in-flight iteration.
+#[derive(Debug)]
+struct Iteration {
+    ends_at: SimTime,
+    decode_ids: Vec<RequestId>,
+    /// `(request, tokens prefilling this iteration)`.
+    prefill_parts: Vec<(RequestId, usize)>,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Total NPU-busy time.
+    pub busy: SimDuration,
+    /// Output tokens generated.
+    pub output_tokens: u64,
+    /// Requests finished.
+    pub finished: u64,
+    /// Recompute preemptions.
+    pub preemptions: u64,
+}
+
+/// The FlowServe engine (one TE's serving core).
+pub struct Engine {
+    cfg: EngineConfig,
+    cost: ExecCostModel,
+    rtc: Rtc,
+    requests: HashMap<RequestId, EngineRequest>,
+    /// Admission queue (FCFS).
+    waiting: VecDeque<RequestId>,
+    /// Requests with prefill chunks outstanding, admission order.
+    running_prefill: Vec<RequestId>,
+    /// Decoding requests, admission order.
+    running_decode: Vec<RequestId>,
+    /// Migrated-in requests waiting for KV block space (decode-only mode).
+    waiting_kv: VecDeque<(RequestId, usize)>,
+    /// Populate ticket -> request.
+    populating: HashMap<PopulateTicket, RequestId>,
+    current: Option<Iteration>,
+    stats: EngineStats,
+    counters: Counters,
+}
+
+impl Engine {
+    /// Builds an engine: RTC pools are sized from the cost model's KV
+    /// capacity and the config's reserve fraction.
+    pub fn new(cfg: EngineConfig, cost: ExecCostModel) -> Self {
+        let kv_tokens = cost.kv_capacity_tokens(cfg.kv_reserve_frac) as usize;
+        let npu_blocks = kv_tokens / cfg.block_size;
+        let rtc = Rtc::new(RtcConfig {
+            block_size: cfg.block_size,
+            npu_blocks,
+            dram_blocks: cfg.dram_blocks,
+        });
+        Engine {
+            cfg,
+            cost,
+            rtc,
+            requests: HashMap::new(),
+            waiting: VecDeque::new(),
+            running_prefill: Vec::new(),
+            running_decode: Vec::new(),
+            waiting_kv: VecDeque::new(),
+            populating: HashMap::new(),
+            current: None,
+            stats: EngineStats::default(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &ExecCostModel {
+        &self.cost
+    }
+
+    /// RTC access (read-mostly; platform uses it for context caching).
+    pub fn rtc(&self) -> &Rtc {
+        &self.rtc
+    }
+
+    /// Mutable RTC access for the platform's context-caching endpoint.
+    pub fn rtc_mut(&mut self) -> &mut Rtc {
+        &mut self.rtc
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Event counters (cache hits, preemptions, ...).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Requests queued but not yet running.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len() + self.waiting_kv.len()
+    }
+
+    /// Requests currently prefilling or decoding.
+    pub fn active_len(&self) -> usize {
+        self.running_prefill.len() + self.running_decode.len()
+    }
+
+    /// Total requests the engine is responsible for right now.
+    pub fn load(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Sum of KV tokens currently held (proxy for memory pressure).
+    pub fn kv_tokens_held(&self) -> usize {
+        self.requests.values().map(|r| r.table.tokens()).sum()
+    }
+
+    // ---- Submission ----
+
+    /// Submits a fresh request (tokenized prompt). See [`SubmitOutcome`].
+    pub fn submit(&mut self, now: SimTime, new: NewRequest) -> SubmitOutcome {
+        let id = new.id;
+        // Reject prompts that cannot ever fit.
+        let blocks_for_prompt = new.prompt.len().div_ceil(self.cfg.block_size);
+        if blocks_for_prompt + 1 > self.total_npu_blocks() {
+            self.counters.incr("engine.rejected");
+            return SubmitOutcome {
+                accepted: false,
+                populate: None,
+            };
+        }
+        let mut req = EngineRequest::new(new, self.cfg.block_size);
+
+        let mut pending = None;
+        if self.cfg.prefix_caching {
+            pending = self.try_cache_match(now, &mut req);
+        }
+        let phase = req.phase;
+        self.requests.insert(id, req);
+        match phase {
+            Phase::WaitingPopulate => {}
+            _ => self.waiting.push_back(id),
+        }
+        self.counters.incr("engine.submitted");
+        SubmitOutcome {
+            accepted: true,
+            populate: pending,
+        }
+    }
+
+    fn total_npu_blocks(&self) -> usize {
+        // Pool capacity = free + in-use; RTC exposes free; reconstruct via
+        // capacity stored in the pool. (Free + cached is a lower bound;
+        // use the config-derived capacity for the admission check.)
+        self.cost.kv_capacity_tokens(self.cfg.kv_reserve_frac) as usize / self.cfg.block_size
+    }
+
+    /// Matches the prompt against RTC; acquires the NPU-resident prefix
+    /// and, if worthwhile, kicks off a populate for the DRAM tail.
+    fn try_cache_match(
+        &mut self,
+        now: SimTime,
+        req: &mut EngineRequest,
+    ) -> Option<PendingPopulate> {
+        // Prefer the explicit ID entry when given, else prefix tokens.
+        let mut m = match req.new.cache_id.and_then(|cid| self.rtc.match_by_id(cid)) {
+            Some(m) => m,
+            None => self.rtc.match_by_prefix_token(&req.new.prompt),
+        };
+        // Never reuse the *entire* prompt: at least one token must run
+        // through the model to produce the first output token.
+        let max_nodes = (req.prompt_len().saturating_sub(1)) / self.cfg.block_size;
+        if m.nodes.len() > max_nodes {
+            m.nodes.truncate(max_nodes);
+            m.tokens = max_nodes * self.cfg.block_size;
+            m.npu_prefix_nodes = m.npu_prefix_nodes.min(max_nodes);
+        }
+        if m.nodes.is_empty() {
+            return None;
+        }
+
+        // Decide on fetching the DRAM tail (§4.2: "the scheduler runs a
+        // fitted cost model to decide if reusing the cache is beneficial").
+        let dram_tokens = m.dram_nodes().len() * self.cfg.block_size;
+        let mut pending = None;
+        if dram_tokens > 0 {
+            let bytes = dram_tokens as u64 * self.cost.model().kv_bytes_per_token();
+            let fetch_s = bytes as f64 / self.cfg.populate_bandwidth;
+            let recompute_s = self.cost.recompute_time(dram_tokens as u64).as_secs_f64();
+            let beneficial = !self.cfg.populate_cost_model || fetch_s < recompute_s;
+            if beneficial {
+                if let Some(plan) = self.rtc.populate(now, &m) {
+                    let ticket = plan.ticket;
+                    self.populating.insert(ticket, req.new.id);
+                    req.populate = Some(ticket);
+                    req.phase = Phase::WaitingPopulate;
+                    pending = Some(PendingPopulate {
+                        ticket,
+                        tokens: plan.tokens,
+                    });
+                    self.counters.incr("engine.populates");
+                }
+            } else {
+                self.counters.incr("engine.populate_skipped");
+            }
+        }
+
+        // Acquire whatever is NPU-resident right now. If a populate is in
+        // flight we re-acquire the longer prefix when it lands.
+        if m.npu_prefix_nodes > 0 && pending.is_none() {
+            let acq = self.rtc.acquire_prefix(now, &m);
+            req.cached_tokens = acq.tokens(self.cfg.block_size);
+            req.prefilled_tokens = req.cached_tokens;
+            req.acquired = Some(acq);
+            self.counters
+                .add("engine.cache_hit_tokens", req.cached_tokens as u64);
+        }
+        pending
+    }
+
+    /// The driver finished the simulated KV transfer for `ticket`.
+    pub fn populate_transfer_done(&mut self, now: SimTime, ticket: PopulateTicket) {
+        self.rtc.complete_populate(ticket);
+        let Some(id) = self.populating.remove(&ticket) else {
+            return;
+        };
+        let Some(req) = self.requests.get_mut(&id) else {
+            return;
+        };
+        req.populate = None;
+        // Re-match: the populated nodes are NPU-resident now.
+        let mut m = self.rtc.match_by_prefix_token(&req.new.prompt);
+        let max_nodes = (req.prompt_len().saturating_sub(1)) / self.cfg.block_size;
+        if m.nodes.len() > max_nodes {
+            m.nodes.truncate(max_nodes);
+            m.tokens = max_nodes * self.cfg.block_size;
+            m.npu_prefix_nodes = m.npu_prefix_nodes.min(max_nodes);
+        }
+        if m.npu_prefix_nodes > 0 {
+            let acq = self.rtc.acquire_prefix(now, &m);
+            req.cached_tokens = acq.tokens(self.cfg.block_size);
+            req.prefilled_tokens = req.cached_tokens;
+            req.acquired = Some(acq);
+            self.counters
+                .add("engine.cache_hit_tokens", req.cached_tokens as u64);
+        }
+        req.phase = Phase::Queued;
+        self.waiting.push_back(id);
+    }
+
+    /// Decode-only mode: admits a migrated request whose KV (context) has
+    /// just arrived over DistFlow. `first_token_at` is when the prefill TE
+    /// emitted token one.
+    pub fn submit_with_kv(
+        &mut self,
+        now: SimTime,
+        new: NewRequest,
+        context_tokens: usize,
+        first_token_at: SimTime,
+    ) -> SubmitOutcome {
+        let id = new.id;
+        let mut req = EngineRequest::new(new, self.cfg.block_size);
+        req.prefilled_tokens = context_tokens;
+        req.generated = 1;
+        req.first_token_at = Some(first_token_at);
+        req.phase = Phase::Decoding;
+        self.requests.insert(id, req);
+        if !self.try_allocate_context(id, context_tokens) {
+            // No room yet: park until blocks free up.
+            let req = self.requests.get_mut(&id).expect("just inserted");
+            req.phase = Phase::Queued;
+            self.waiting_kv.push_back((id, context_tokens));
+            self.counters.incr("engine.kv_admission_stalls");
+        } else {
+            self.running_decode.push(id);
+        }
+        let _ = now;
+        self.counters.incr("engine.migrated_in");
+        SubmitOutcome {
+            accepted: true,
+            populate: None,
+        }
+    }
+
+    fn try_allocate_context(&mut self, id: RequestId, context_tokens: usize) -> bool {
+        let n_blocks = context_tokens.div_ceil(self.cfg.block_size);
+        match self.rtc.alloc_blocks(n_blocks) {
+            Ok(blocks) => {
+                let req = self.requests.get_mut(&id).expect("request exists");
+                req.table.extend(blocks, context_tokens);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    // ---- Driving ----
+
+    /// When the driver should next call [`Engine::advance`]. `None` means
+    /// the engine is idle and will only wake on a new submission/populate.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        if let Some(it) = &self.current {
+            return Some(it.ends_at);
+        }
+        if self.has_ready_work() {
+            Some(now)
+        } else {
+            None
+        }
+    }
+
+    fn has_ready_work(&self) -> bool {
+        !self.running_decode.is_empty()
+            || !self.running_prefill.is_empty()
+            || !self.waiting.is_empty()
+            || !self.waiting_kv.is_empty()
+    }
+
+    /// Runs the engine loop at `now`: completes the in-flight iteration if
+    /// it has ended, then starts the next one. Returns emitted events.
+    pub fn advance(&mut self, now: SimTime) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        if let Some(it) = &self.current {
+            if now < it.ends_at {
+                return events; // woken early; nothing to do yet
+            }
+            let it = self.current.take().expect("checked above");
+            self.complete_iteration(it.ends_at, &it, &mut events);
+        }
+        // Retry KV admissions that were waiting for space.
+        self.retry_waiting_kv();
+        // Background swapper: keep headroom off the critical path.
+        if self.cfg.swap_low_watermark_blocks > 0 {
+            let moved = self.rtc.copy_to_dram(self.cfg.swap_low_watermark_blocks);
+            if moved > 0 {
+                self.counters.add("engine.bg_swap_tokens", moved as u64);
+            }
+        }
+        if self.current.is_none() {
+            self.start_iteration(now);
+        }
+        events
+    }
+
+    fn retry_waiting_kv(&mut self) {
+        let mut remaining = VecDeque::new();
+        while let Some((id, ctx)) = self.waiting_kv.pop_front() {
+            if self.try_allocate_context(id, ctx) {
+                let req = self.requests.get_mut(&id).expect("parked request");
+                req.phase = Phase::Decoding;
+                self.running_decode.push(id);
+            } else {
+                remaining.push_back((id, ctx));
+                break; // preserve order; no point trying the rest
+            }
+        }
+        remaining.extend(self.waiting_kv.drain(..));
+        self.waiting_kv = remaining;
+    }
+
+    // ---- Batch formation ----
+
+    fn start_iteration(&mut self, now: SimTime) {
+        let (work, decode_ids, prefill_parts) = self.form_batch(now);
+        if work.is_empty() {
+            return;
+        }
+        let npu = self.cost.step_time(&work);
+        let seqs = decode_ids.len() + prefill_parts.len();
+        let (overlap, residual) = self.cfg.version.cpu_costs(seqs.max(1));
+        let wall = if self.cfg.version.async_sched {
+            SimDuration::from_secs_f64(npu.as_secs_f64().max(overlap) + residual)
+        } else {
+            npu + SimDuration::from_secs_f64(overlap + residual)
+        };
+        self.stats.iterations += 1;
+        self.stats.busy += wall;
+        self.current = Some(Iteration {
+            ends_at: now + wall,
+            decode_ids,
+            prefill_parts,
+        });
+    }
+
+    fn form_batch(&mut self, _now: SimTime) -> (BatchWork, Vec<RequestId>, Vec<(RequestId, usize)>) {
+        let mut work = BatchWork::default();
+        let mut decode_ids = Vec::new();
+        let mut prefill_parts = Vec::new();
+
+        // --- decode side ---
+        if self.cfg.mode != EngineMode::PrefillOnly {
+            let ids: Vec<RequestId> = self.running_decode.clone();
+            for id in ids {
+                if decode_ids.len() >= self.cfg.max_batch {
+                    break;
+                }
+                // A reservation earlier in this loop may have preempted this
+                // sequence out of the decode set.
+                if self.requests.get(&id).map(|r| r.phase) != Some(Phase::Decoding) {
+                    continue;
+                }
+                if self.reserve_decode_slot(id) {
+                    let req = &self.requests[&id];
+                    work.decode_seqs += 1;
+                    work.decode_context_total += req.table.tokens() as u64;
+                    decode_ids.push(id);
+                }
+            }
+        }
+
+        // --- prefill side ---
+        let do_prefill = match self.cfg.mode {
+            EngineMode::PrefillOnly => true,
+            EngineMode::DecodeOnly => false,
+            EngineMode::Colocated => self.cfg.chunked_prefill || decode_ids.is_empty(),
+        };
+        if do_prefill {
+            let mut budget = self.cfg.prefill_chunk_tokens;
+            let mut ctx_weighted: u64 = 0;
+            // Continue in-flight prefills first, then admit new ones.
+            let mut candidates: Vec<RequestId> = self.running_prefill.clone();
+            // Peek the queue head; admission happens below if budget and
+            // memory allow, and deeper queue entries are pulled in as
+            // earlier ones are admitted.
+            if let Some(&id) = self.waiting.front() {
+                candidates.push(id);
+            }
+            let mut admitted_from_waiting = false;
+            let mut i = 0;
+            while budget > 0 && i < candidates.len() {
+                let id = candidates[i];
+                i += 1;
+                let (remaining, context) = {
+                    let req = &self.requests[&id];
+                    (req.prefill_remaining(), req.prefilled_tokens)
+                };
+                let chunk = remaining.min(budget);
+                if chunk == 0 {
+                    continue;
+                }
+                if !self.reserve_prefill_blocks(id, chunk) {
+                    break; // memory pressure: stop admitting
+                }
+                if self.waiting.front() == Some(&id) {
+                    self.waiting.pop_front();
+                    self.running_prefill.push(id);
+                    self.requests
+                        .get_mut(&id)
+                        .expect("queued request exists")
+                        .phase = Phase::Prefilling;
+                    admitted_from_waiting = true;
+                }
+                budget -= chunk;
+                ctx_weighted += (context as u64) * chunk as u64;
+                work.prefill_tokens += chunk as u64;
+                prefill_parts.push((id, chunk));
+                // If we just admitted from waiting and budget remains, pull
+                // the next queued request into candidates.
+                if admitted_from_waiting && budget > 0 {
+                    if let Some(&next) = self.waiting.front() {
+                        candidates.push(next);
+                    }
+                }
+            }
+            work.prefill_context = ctx_weighted.checked_div(work.prefill_tokens).unwrap_or(0);
+        }
+
+        (work, decode_ids, prefill_parts)
+    }
+
+    /// Ensures the decode sequence has a KV slot for this iteration's
+    /// token, preempting younger sequences under pressure (recompute-style
+    /// preemption: the victim restarts its prefill later).
+    fn reserve_decode_slot(&mut self, id: RequestId) -> bool {
+        loop {
+            {
+                let req = self.requests.get_mut(&id).expect("decode request exists");
+                if req.table.slack() >= 1 {
+                    req.table.extend(vec![], 1);
+                    return true;
+                }
+            }
+            match self.rtc.append_block() {
+                Ok(b) => {
+                    let req = self.requests.get_mut(&id).expect("decode request exists");
+                    req.table.extend(vec![b], 1);
+                    return true;
+                }
+                Err(_) => {
+                    if !self.preempt_youngest_except(id) {
+                        return false; // nothing left to preempt
+                    }
+                }
+            }
+        }
+    }
+
+    fn reserve_prefill_blocks(&mut self, id: RequestId, chunk: usize) -> bool {
+        // Seed the table with the acquired cache prefix on first contact.
+        {
+            let req = self.requests.get_mut(&id).expect("prefill request exists");
+            if req.table.tokens() == 0 && req.cached_tokens > 0 {
+                let acq_blocks: Vec<BlockId> = req
+                    .acquired
+                    .as_ref()
+                    .expect("cached_tokens implies acquisition")
+                    .blocks
+                    .clone();
+                let cached = req.cached_tokens;
+                req.table.extend(acq_blocks, cached);
+            }
+        }
+        let need = {
+            let req = &self.requests[&id];
+            req.table.blocks_needed(chunk)
+        };
+        match self.rtc.alloc_blocks(need) {
+            Ok(blocks) => {
+                let req = self.requests.get_mut(&id).expect("prefill request exists");
+                req.table.extend(blocks, chunk);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Preempts the most recently admitted decode sequence other than
+    /// `keep`, freeing its blocks for reuse. Returns false if there was no
+    /// victim.
+    fn preempt_youngest_except(&mut self, keep: RequestId) -> bool {
+        let victim = self
+            .running_decode
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v != keep);
+        let Some(victim) = victim else { return false };
+        self.running_decode.retain(|&r| r != victim);
+        let req = self.requests.get_mut(&victim).expect("victim exists");
+        let blocks = req.table.take_blocks();
+        // Recompute-style preemption: KV is dropped; the prompt *and* the
+        // tokens generated so far must be re-prefilled before decode can
+        // resume. TTFT and the generated count are history — they stay.
+        req.phase = Phase::Queued;
+        req.prefilled_tokens = 0;
+        req.cached_tokens = 0;
+        req.preemptions += 1;
+        let acquired = req.acquired.take();
+        self.rtc.free(&blocks);
+        if let Some(acq) = acquired {
+            self.rtc.release_prefix(&acq);
+            // The acquired blocks were part of the table and already freed.
+        }
+        self.waiting.push_front(victim);
+        self.stats.preemptions += 1;
+        self.counters.incr("engine.preemptions");
+        true
+    }
+
+    // ---- Iteration completion ----
+
+    fn complete_iteration(&mut self, at: SimTime, it: &Iteration, events: &mut Vec<EngineEvent>) {
+        // Prefill progress.
+        for &(id, chunk) in &it.prefill_parts {
+            // The request may have been preempted out mid-flight; skip then.
+            let Some(req) = self.requests.get_mut(&id) else {
+                continue;
+            };
+            if req.phase != Phase::Prefilling {
+                continue;
+            }
+            req.prefilled_tokens += chunk;
+            if req.prefill_remaining() == 0 {
+                self.finish_prefill(at, id, events);
+            }
+        }
+        // Decode progress.
+        for &id in &it.decode_ids {
+            let Some(req) = self.requests.get_mut(&id) else {
+                continue;
+            };
+            if req.phase != Phase::Decoding {
+                continue; // preempted during this iteration's formation
+            }
+            req.generated += 1;
+            self.stats.output_tokens += 1;
+            if req.decode_done() {
+                req.finished_at = Some(at);
+                self.finish_request(at, id, events);
+            }
+        }
+    }
+
+    fn finish_prefill(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
+        self.running_prefill.retain(|&r| r != id);
+        let (prompt, cache_id, blocks, should_cache, is_first_completion) = {
+            let req = self.requests.get_mut(&id).expect("prefilling request");
+            let is_first = req.first_token_at.is_none();
+            if is_first {
+                req.first_token_at = Some(at);
+                req.generated = 1;
+                self.stats.output_tokens += 1;
+            }
+            let should_cache = match self.cfg.mode {
+                EngineMode::PrefillOnly => self.cfg.cache_on_prefill,
+                _ => self.cfg.prefix_caching,
+            };
+            (
+                req.new.prompt.clone(),
+                req.new.cache_id,
+                req.table.blocks().to_vec(),
+                should_cache,
+                is_first,
+            )
+        };
+        // Implicit caching: register the prompt's full blocks.
+        if should_cache {
+            let chain = self.rtc.insert_prefix(at, &prompt, &blocks);
+            if let Some(cid) = cache_id {
+                self.rtc.register_id(cid, chain);
+            }
+        }
+        if is_first_completion {
+            events.push(EngineEvent::FirstToken { id, at });
+        }
+
+        let req = self.requests.get_mut(&id).expect("prefilling request");
+        match self.cfg.mode {
+            EngineMode::PrefillOnly => {
+                req.phase = Phase::AwaitingMigration;
+                let kv_tokens = req.table.tokens();
+                events.push(EngineEvent::PrefillComplete { id, at, kv_tokens });
+            }
+            _ => {
+                if req.decode_done() {
+                    req.finished_at = Some(at);
+                    self.finish_request(at, id, events);
+                } else {
+                    req.phase = Phase::Decoding;
+                    self.running_decode.push(id);
+                }
+            }
+        }
+    }
+
+    fn finish_request(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
+        self.running_decode.retain(|&r| r != id);
+        let mut req = self.requests.remove(&id).expect("finishing request");
+        req.phase = Phase::Finished;
+        let latency = req
+            .latency()
+            .expect("finished request has first/finish times");
+        let blocks = req.table.take_blocks();
+        self.rtc.free(&blocks);
+        if let Some(acq) = req.acquired.take() {
+            self.rtc.release_prefix(&acq);
+        }
+        self.stats.finished += 1;
+        events.push(EngineEvent::Finished {
+            id,
+            at,
+            latency,
+            prompt_tokens: req.prompt_len(),
+            cached_tokens: req.cached_tokens,
+        });
+    }
+
+    /// Prefill-only mode: the driver finished migrating `id`'s KV to a
+    /// decode TE; release the local copy.
+    pub fn release_migrated(&mut self, id: RequestId) {
+        let Some(mut req) = self.requests.remove(&id) else {
+            return;
+        };
+        debug_assert_eq!(req.phase, Phase::AwaitingMigration);
+        let blocks = req.table.take_blocks();
+        self.rtc.free(&blocks);
+        if let Some(acq) = req.acquired.take() {
+            self.rtc.release_prefix(&acq);
+        }
+        self.counters.incr("engine.migrated_out");
+    }
+
+    /// KV tokens a migrating request will ship (for transfer sizing).
+    pub fn migration_kv_tokens(&self, id: RequestId) -> Option<usize> {
+        self.requests.get(&id).map(|r| r.table.tokens())
+    }
+}

@@ -1,0 +1,178 @@
+//! Engine-level request state.
+
+use crate::block::BlockTable;
+use crate::rtc::{AcquiredPrefix, CacheId, PopulateTicket};
+use crate::tokenizer::TokenId;
+use simcore::{SimDuration, SimTime};
+
+/// Globally unique request identifier (assigned by the platform frontend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
+pub struct RequestId(pub u64);
+
+/// What a caller hands the engine.
+#[derive(Debug, Clone)]
+pub struct NewRequest {
+    /// Identity.
+    pub id: RequestId,
+    /// Tokenized prompt.
+    pub prompt: Vec<TokenId>,
+    /// Ground-truth decode length (simulation oracle; the engine stops
+    /// there, schedulers may only see a noisy prediction of it).
+    pub target_output: u32,
+    /// Platform arrival time (for JCT accounting).
+    pub arrival: SimTime,
+    /// Optional explicit context-cache id to match/register.
+    pub cache_id: Option<CacheId>,
+}
+
+/// Engine-side lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for an asynchronous KV populate before becoming schedulable.
+    WaitingPopulate,
+    /// In the admission queue.
+    Queued,
+    /// Prefill chunks in flight.
+    Prefilling,
+    /// Generating tokens.
+    Decoding,
+    /// Prefill done on a prefill-only TE; KV awaiting migration.
+    AwaitingMigration,
+    /// Done (all tokens emitted, or migrated out).
+    Finished,
+}
+
+/// One request as the engine tracks it.
+#[derive(Debug)]
+pub struct EngineRequest {
+    /// Immutable submission data.
+    pub new: NewRequest,
+    /// Current phase.
+    pub phase: Phase,
+    /// Prompt tokens satisfied from cache at admission.
+    pub cached_tokens: usize,
+    /// Prompt tokens prefilled so far (including cached).
+    pub prefilled_tokens: usize,
+    /// Output tokens generated so far.
+    pub generated: u32,
+    /// Physical KV mapping.
+    pub table: BlockTable,
+    /// Pinned cached prefix, if any.
+    pub acquired: Option<AcquiredPrefix>,
+    /// In-flight populate ticket, if any.
+    pub populate: Option<PopulateTicket>,
+    /// When the first output token was emitted.
+    pub first_token_at: Option<SimTime>,
+    /// When the request finished.
+    pub finished_at: Option<SimTime>,
+    /// Number of times this request was preempted (recompute restarts).
+    pub preemptions: u32,
+}
+
+impl EngineRequest {
+    /// Wraps a submission.
+    pub fn new(new: NewRequest, block_size: usize) -> Self {
+        EngineRequest {
+            new,
+            phase: Phase::Queued,
+            cached_tokens: 0,
+            prefilled_tokens: 0,
+            generated: 0,
+            table: BlockTable::new(block_size),
+            acquired: None,
+            populate: None,
+            first_token_at: None,
+            finished_at: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Prompt length in tokens.
+    pub fn prompt_len(&self) -> usize {
+        self.new.prompt.len()
+    }
+
+    /// Tokens still needing prefill. After a recompute preemption the
+    /// already-generated output tokens are part of the context that must be
+    /// re-prefilled, so they count here; in the normal flow `generated` is
+    /// zero throughout the prefill phase.
+    pub fn prefill_remaining(&self) -> usize {
+        (self.prompt_len() + self.generated as usize).saturating_sub(self.prefilled_tokens)
+    }
+
+    /// Whether decode has produced everything it should.
+    pub fn decode_done(&self) -> bool {
+        self.generated >= self.new.target_output
+    }
+
+    /// Request-level latency metrics; `None` until finished.
+    pub fn latency(&self) -> Option<simcore::RequestLatency> {
+        let first = self.first_token_at?;
+        let end = self.finished_at?;
+        let ttft = first.since(self.new.arrival);
+        let jct = end.since(self.new.arrival);
+        let tpot = if self.generated > 1 {
+            SimDuration::from_nanos(
+                end.since(first).as_nanos() / (self.generated as u64 - 1),
+            )
+        } else {
+            SimDuration::ZERO
+        };
+        Some(simcore::RequestLatency {
+            ttft,
+            tpot,
+            jct,
+            output_tokens: self.generated as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(prompt_len: usize, target: u32) -> EngineRequest {
+        EngineRequest::new(
+            NewRequest {
+                id: RequestId(1),
+                prompt: crate::tokenizer::synthetic_tokens(1, prompt_len, 64_000),
+                target_output: target,
+                arrival: SimTime::from_secs(1),
+                cache_id: None,
+            },
+            16,
+        )
+    }
+
+    #[test]
+    fn fresh_request_state() {
+        let r = req(100, 50);
+        assert_eq!(r.phase, Phase::Queued);
+        assert_eq!(r.prefill_remaining(), 100);
+        assert!(!r.decode_done());
+        assert!(r.latency().is_none());
+    }
+
+    #[test]
+    fn latency_math() {
+        let mut r = req(100, 3);
+        r.first_token_at = Some(SimTime::from_secs(2));
+        r.finished_at = Some(SimTime::from_secs(4));
+        r.generated = 3;
+        let lat = r.latency().unwrap();
+        assert_eq!(lat.ttft, SimDuration::from_secs(1));
+        assert_eq!(lat.jct, SimDuration::from_secs(3));
+        // 2 inter-token gaps over 2 seconds.
+        assert_eq!(lat.tpot, SimDuration::from_secs(1));
+        assert_eq!(lat.output_tokens, 3);
+    }
+
+    #[test]
+    fn single_token_request_has_zero_tpot() {
+        let mut r = req(10, 1);
+        r.first_token_at = Some(SimTime::from_secs(2));
+        r.finished_at = Some(SimTime::from_secs(2));
+        r.generated = 1;
+        assert_eq!(r.latency().unwrap().tpot, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Safetensors-style checkpoint layout.
+//!
+//! The paper stores models in the safetensors format: a small JSON header
+//! followed by tensors in contiguous blocks, `mmap`ed so reads fault pages
+//! in on demand (§6.2). Two properties matter to the scaling path and are
+//! modeled here:
+//!
+//! 1. tensors are contiguous, so a TP rank's partition is a *byte range* it
+//!    can fault in without touching the rest of the file;
+//! 2. loading onto the NPU adds a fixed framework cost for tensor object
+//!    initialization (the paper measures 0.3 s).
+
+use crate::parallel::Parallelism;
+use crate::spec::ModelSpec;
+use npu::pagecache::{ByteRange, FileId};
+use simcore::SimDuration;
+
+/// Fixed per-load tensor-initialization overhead the paper measures
+/// ("PyTorch model tensor initialization (0.3s)").
+pub const TENSOR_INIT: SimDuration = SimDuration::from_millis(300);
+
+/// One checkpoint file on a server's storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Identity in the page-cache layer.
+    pub file: FileId,
+    /// Model this checkpoint holds.
+    pub model: ModelSpec,
+    /// Serialized header size (tensor index), bytes.
+    pub header_bytes: u64,
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint for `model` with the given file identity.
+    pub fn new(file: FileId, model: ModelSpec) -> Self {
+        // Headers are tens of KB in practice; size scales mildly with
+        // tensor count (~layers).
+        let header_bytes = 4096 + 512 * model.num_layers as u64;
+        Checkpoint {
+            file,
+            model,
+            header_bytes,
+        }
+    }
+
+    /// Total file size: header plus all weights.
+    pub fn total_bytes(&self) -> u64 {
+        self.header_bytes + self.model.weight_bytes()
+    }
+
+    /// The byte range TP rank `rank` of `par` must read: the header (every
+    /// rank parses the index) plus its contiguous weight partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the TP x PP grid.
+    pub fn partition(&self, par: Parallelism, rank: u32) -> ByteRange {
+        let shards = par.tp as u64 * par.pp as u64;
+        assert!(
+            (rank as u64) < shards,
+            "partition: rank {rank} outside {shards} shards"
+        );
+        let w = self.model.weight_bytes();
+        let shard = w / shards;
+        let start = self.header_bytes + rank as u64 * shard;
+        // Last shard absorbs the remainder.
+        let end = if rank as u64 == shards - 1 {
+            self.header_bytes + w
+        } else {
+            start + shard
+        };
+        ByteRange::new(start, end)
+    }
+
+    /// Bytes each rank's partition holds (excluding the shared header).
+    pub fn partition_bytes(&self, par: Parallelism) -> u64 {
+        self.model.weight_bytes() / (par.tp as u64 * par.pp as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_file_exactly() {
+        let c = Checkpoint::new(FileId(1), ModelSpec::internal_34b());
+        let par = Parallelism::tp(4);
+        let mut covered = 0;
+        for rank in 0..4 {
+            let r = c.partition(par, rank);
+            covered += r.len();
+            assert!(r.start >= c.header_bytes);
+        }
+        assert_eq!(covered, c.model.weight_bytes());
+        // Last partition ends exactly at EOF.
+        assert_eq!(c.partition(par, 3).end, c.total_bytes());
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_ordered() {
+        let c = Checkpoint::new(FileId(2), ModelSpec::llama3_70b());
+        let par = Parallelism::tp_pp(4, 2);
+        for rank in 0..7 {
+            let a = c.partition(par, rank);
+            let b = c.partition(par, rank + 1);
+            assert_eq!(a.end, b.start, "shards must tile contiguously");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_rank_panics() {
+        let c = Checkpoint::new(FileId(3), ModelSpec::llama3_8b());
+        c.partition(Parallelism::tp(2), 2);
+    }
+
+    #[test]
+    fn header_is_small_relative_to_weights() {
+        let c = Checkpoint::new(FileId(4), ModelSpec::generic_7b());
+        assert!(c.header_bytes < 1 << 20);
+        assert!(c.total_bytes() > c.model.weight_bytes());
+    }
+}

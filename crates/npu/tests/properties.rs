@@ -1,0 +1,95 @@
+//! Property-based tests for the hardware-model invariants.
+
+use npu::hccl;
+use npu::pagecache::{ByteRange, FileId, PageCache};
+use npu::specs::{ClusterSpec, LinkSpec, NpuId, ServerSpec, ChipSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// The page cache never exceeds capacity, and reading the same range
+    /// twice always hits the second time (no spurious eviction of what was
+    /// just touched, as long as it fits at all).
+    #[test]
+    fn pagecache_capacity_and_rehit(
+        reads in prop::collection::vec((0u64..8, 0u64..1_000, 1u64..2_000), 1..60),
+    ) {
+        let cap = 16_384u64;
+        let mut pc = PageCache::new(cap);
+        for (file, start, len) in reads {
+            let r = ByteRange::new(start, start + len);
+            let first = pc.read(FileId(file), r);
+            prop_assert!(pc.used() <= cap, "used {} > cap {cap}", pc.used());
+            prop_assert_eq!(first.hit_bytes + first.miss_bytes, len);
+            if len <= cap {
+                let second = pc.read(FileId(file), r);
+                prop_assert_eq!(second.miss_bytes, 0, "immediate re-read must hit");
+            }
+        }
+    }
+
+    /// Residency accounting agrees with a naive byte-set model.
+    #[test]
+    fn pagecache_matches_naive_model(
+        ops in prop::collection::vec((0u64..3, 0u64..300, 1u64..300), 1..40),
+    ) {
+        let mut pc = PageCache::new(1 << 40); // effectively unbounded
+        let mut naive: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            Default::default();
+        for (file, start, len) in ops {
+            let r = ByteRange::new(start, start + len);
+            let got = pc.read(FileId(file), r);
+            let set = naive.entry(file).or_default();
+            let hits = (start..start + len).filter(|b| set.contains(b)).count() as u64;
+            prop_assert_eq!(got.hit_bytes, hits, "hit bytes disagree with naive model");
+            for b in start..start + len {
+                set.insert(b);
+            }
+        }
+    }
+
+    /// Collective cost models are monotone in payload size and respect the
+    /// tier ordering (HCCS strictly faster than RoCE for equal payloads).
+    #[test]
+    fn hccl_costs_are_monotone(a in 1u64..1 << 34, b in 1u64..1 << 34, n in 2usize..64) {
+        let hccs = LinkSpec { bandwidth: 56e9, latency_us: 10 };
+        let roce = LinkSpec { bandwidth: 25e9, latency_us: 50 };
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(hccl::p2p_time(&hccs, lo) <= hccl::p2p_time(&hccs, hi));
+        prop_assert!(hccl::all_reduce_time(&hccs, n, lo) <= hccl::all_reduce_time(&hccs, n, hi));
+        prop_assert!(hccl::broadcast_time(&hccs, n, lo) <= hccl::broadcast_time(&hccs, n, hi));
+        prop_assert!(hccl::p2p_time(&hccs, hi) < hccl::p2p_time(&roce, hi));
+        prop_assert!(hccl::broadcast_time(&hccs, n, hi) < hccl::broadcast_time(&roce, n, hi));
+    }
+
+    /// PCIe sharing never grants more bandwidth to more concurrent loaders.
+    #[test]
+    fn pcie_sharing_is_monotone(a in 1usize..8, b in 1usize..8) {
+        let s = ServerSpec::standard(ChipSpec::gen2());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(s.pcie_bw_per_npu(hi) <= s.pcie_bw_per_npu(lo));
+        // Aggregate bandwidth never exceeds the root-complex ceiling.
+        prop_assert!(s.pcie_bw_per_npu(hi) * hi as f64 <= s.pcie_root_bw + 1.0);
+    }
+
+    /// HCCS-domain membership is an equivalence relation over any cluster
+    /// shape (reflexive, symmetric, transitive).
+    #[test]
+    fn hccs_domains_are_equivalence_classes(
+        servers in 1usize..12,
+        domain in 1usize..12,
+        picks in prop::collection::vec((0usize..12, 0usize..8), 3),
+    ) {
+        let mut spec = ClusterSpec::gen2_cluster(servers);
+        spec.hccs_domain_servers = domain;
+        let ids: Vec<NpuId> = picks
+            .iter()
+            .map(|&(s, c)| NpuId::new(s % servers, c))
+            .collect();
+        let (x, y, z) = (ids[0], ids[1], ids[2]);
+        prop_assert!(spec.same_hccs_domain(x, x));
+        prop_assert_eq!(spec.same_hccs_domain(x, y), spec.same_hccs_domain(y, x));
+        if spec.same_hccs_domain(x, y) && spec.same_hccs_domain(y, z) {
+            prop_assert!(spec.same_hccs_domain(x, z));
+        }
+    }
+}

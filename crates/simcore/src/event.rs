@@ -1,0 +1,255 @@
+//! Deterministic event queue and simulation clock.
+//!
+//! The queue orders events by `(time, sequence)`: ties at the same instant
+//! are broken by insertion order, so a simulation that schedules events in a
+//! deterministic order replays bit-identically regardless of how many events
+//! collide on one timestamp. The payload type `E` needs no `Ord` impl.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: payload `E` due at `time`.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (then the lowest sequence number) on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of timestamped events with deterministic FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// The due time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A simulation clock married to an event queue.
+///
+/// `Clock` enforces the single invariant every discrete-event simulation
+/// depends on: **time never moves backwards**. Components schedule future
+/// events through [`Clock::schedule`] / [`Clock::schedule_after`]; the driver
+/// loop repeatedly calls [`Clock::next`], which advances `now` to the event's
+/// due time and hands the payload back.
+pub struct Clock<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Clock<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Clock<E> {
+    /// Creates a clock at t = 0 with an empty queue.
+    pub fn new() -> Self {
+        Clock {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past: scheduling behind the clock would make
+    /// the event fire "now" in an order that depends on queue internals,
+    /// which silently breaks determinism. Callers that mean "as soon as
+    /// possible" should pass `self.now()`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "Clock::schedule: time {at} is before now ({})",
+            self.now
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.queue.push(at, payload);
+    }
+
+    /// Pops the next event, advancing `now` to its due time.
+    ///
+    /// Deliberately named like `Iterator::next`; `Clock` is not an
+    /// iterator because popping mutates the clock, but the call-site
+    /// reading ("give me the next event") is the same.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded an event in the past");
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Due time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether any events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Advances `now` without an event (e.g. to align with an external clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is before the current time.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(
+            to >= self.now,
+            "Clock::advance_to: target {to} is before now ({})",
+            self.now
+        );
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c: Clock<u32> = Clock::new();
+        c.schedule(SimTime::from_secs(1), 1);
+        c.schedule_after(SimDuration::from_millis(10), 2);
+        let (t1, e1) = c.next().unwrap();
+        assert_eq!((t1, e1), (SimTime::from_millis(10), 2));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        let (t2, e2) = c.next().unwrap();
+        assert_eq!((t2, e2), (SimTime::from_secs(1), 1));
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut c: Clock<u32> = Clock::new();
+        c.schedule(SimTime::from_secs(1), 1);
+        c.next();
+        c.schedule(SimTime::from_millis(1), 2);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

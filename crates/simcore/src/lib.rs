@@ -1,0 +1,32 @@
+//! # simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the DeepServe reproduction. Every higher-level crate
+//! (hardware model, serving engine, platform) runs on this kernel:
+//!
+//! * [`time`] — integer-nanosecond instants and spans ([`SimTime`],
+//!   [`SimDuration`]); exact, drift-free, totally ordered.
+//! * [`event`] — the event queue and clock ([`EventQueue`], [`Clock`]) with
+//!   FIFO tie-breaking so reruns are bit-identical.
+//! * [`rng`] — seeded randomness ([`SimRng`]) with the distributions the
+//!   workload generators need (exponential, normal, lognormal, Zipf).
+//! * [`metrics`] — samples, percentiles, time series, and the serving
+//!   metrics the paper reports (TTFT/TPOT/JCT/throughput/SLO attainment).
+//! * [`resource`] — queueing primitives: serial [`FifoChannel`]s and
+//!   processor-sharing [`SharedLink`]s, the building blocks for PCIe, HCCS,
+//!   RoCE and SSD models.
+//!
+//! Design rule: **no wall-clock time, no global state, no threads.** A
+//! simulation is an ordinary value you step; determinism comes from integer
+//! time, ordered queues and seeded RNG streams, not from locking.
+
+pub mod event;
+pub mod metrics;
+pub mod resource;
+pub mod rng;
+pub mod time;
+
+pub use event::{Clock, EventQueue};
+pub use metrics::{Counters, LatencyStats, RequestLatency, Samples, Summary, TimeSeries};
+pub use resource::{FifoChannel, FlowId, SharedLink};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,420 @@
+//! Measurement plumbing: distributions, percentiles, time series.
+//!
+//! Experiments record raw samples (`Samples`), summarize them
+//! (`Summary`), and track values over time (`TimeSeries`). The serving
+//! metrics the paper reports — TTFT, TPOT, JCT, throughput, SLO attainment —
+//! are computed from these primitives by `LatencyStats`.
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag of raw `f64` samples supporting exact percentile queries.
+///
+/// Simulation runs produce at most a few million samples, so keeping the raw
+/// values and sorting on demand is both exact and fast enough; sortedness is
+/// cached and invalidated on insert.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Records one sample. Non-finite values are a logic error upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on NaN/inf input; release builds drop the
+    /// sample (a poisoned percentile is worse than a missing point).
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "Samples::record: non-finite {value}");
+        if value.is_finite() {
+            self.values.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Exact percentile via nearest-rank on the sorted samples.
+    /// `q` is in `[0, 1]`; returns `None` if empty.
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| if v > m { v } else { m }))
+        })
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(acc.map_or(v, |m: f64| if v < m { v } else { m }))
+        })
+    }
+
+    /// Fraction of samples at or below `threshold` — SLO attainment.
+    pub fn fraction_le(&self, threshold: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let hits = self.values.iter().filter(|&&v| v <= threshold).count();
+        Some(hits as f64 / self.values.len() as f64)
+    }
+
+    /// Summarizes the distribution.
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.len(),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.percentile(0.50).unwrap_or(0.0),
+            p90: self.percentile(0.90).unwrap_or(0.0),
+            p95: self.percentile(0.95).unwrap_or(0.0),
+            p99: self.percentile(0.99).unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+
+    /// Read-only view of the raw samples (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A distribution summary: count, mean and standard percentiles.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// A `(time, value)` series, e.g. queue depth or instance count over time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point. Points must be appended in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the last recorded point.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(last, _)| t >= last),
+            "TimeSeries::record: out-of-order point at {t}"
+        );
+        self.points.push((t, value));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time-weighted average of a step function defined by the points, over
+    /// the span from the first point to `end`. Returns `None` if empty.
+    pub fn time_weighted_mean(&self, end: SimTime) -> Option<f64> {
+        let first = self.points.first()?.0;
+        if end <= first {
+            return Some(self.points[0].1);
+        }
+        let total = end.since(first).as_nanos() as f64;
+        let mut acc = 0.0;
+        for (i, &(t, v)) in self.points.iter().enumerate() {
+            let next_t = self
+                .points
+                .get(i + 1)
+                .map(|&(nt, _)| nt.max_of(t))
+                .unwrap_or(end);
+            let next_t = if next_t > end { end } else { next_t };
+            if next_t > t {
+                acc += v * next_t.since(t).as_nanos() as f64;
+            }
+        }
+        Some(acc / total)
+    }
+}
+
+/// Per-request serving latency metrics, in the units the paper reports.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLatency {
+    /// Time to first token.
+    pub ttft: SimDuration,
+    /// Mean time per output token (excluding the first).
+    pub tpot: SimDuration,
+    /// Job completion time: arrival to last token.
+    pub jct: SimDuration,
+    /// Number of output tokens generated.
+    pub output_tokens: u64,
+}
+
+/// Aggregates request latencies into the paper's reported metrics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    ttft_ms: Samples,
+    tpot_ms: Samples,
+    jct_ms: Samples,
+    total_output_tokens: u64,
+    completed: u64,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, lat: RequestLatency) {
+        self.ttft_ms.record(lat.ttft.as_millis_f64());
+        self.tpot_ms.record(lat.tpot.as_millis_f64());
+        self.jct_ms.record(lat.jct.as_millis_f64());
+        self.total_output_tokens += lat.output_tokens;
+        self.completed += 1;
+    }
+
+    /// Number of completed requests recorded.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total output tokens across all recorded requests.
+    pub fn total_output_tokens(&self) -> u64 {
+        self.total_output_tokens
+    }
+
+    /// TTFT distribution in milliseconds.
+    pub fn ttft_ms(&mut self) -> Summary {
+        self.ttft_ms.summary()
+    }
+
+    /// TPOT distribution in milliseconds.
+    pub fn tpot_ms(&mut self) -> Summary {
+        self.tpot_ms.summary()
+    }
+
+    /// JCT distribution in milliseconds.
+    pub fn jct_ms(&mut self) -> Summary {
+        self.jct_ms.summary()
+    }
+
+    /// Fraction of requests with TPOT at or under `sla`.
+    pub fn tpot_sla_attainment(&self, sla_ms: f64) -> Option<f64> {
+        self.tpot_ms.fraction_le(sla_ms)
+    }
+
+    /// Fraction of requests with TTFT at or under `sla`.
+    pub fn ttft_sla_attainment(&self, sla_ms: f64) -> Option<f64> {
+        self.ttft_ms.fraction_le(sla_ms)
+    }
+
+    /// Output-token throughput over the given makespan, tokens/second.
+    pub fn decode_throughput(&self, makespan: SimDuration) -> f64 {
+        let secs = makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_output_tokens as f64 / secs
+        }
+    }
+}
+
+/// A string-keyed set of counters, for coarse accounting (cache hits,
+/// preemptions, scale events). BTreeMap keeps iteration order stable for
+/// deterministic report output.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `key`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
+    }
+
+    /// Increments counter `key` by one.
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (zero if never touched).
+    pub fn get(&self, key: &'static str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(key, value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(0.50), Some(50.0));
+        assert_eq!(s.percentile(0.90), Some(90.0));
+        assert_eq!(s.percentile(0.99), Some(99.0));
+        assert_eq!(s.percentile(1.0), Some(100.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.fraction_le(1.0), None);
+    }
+
+    #[test]
+    fn record_after_percentile_stays_correct() {
+        let mut s = Samples::new();
+        s.record(10.0);
+        assert_eq!(s.percentile(0.5), Some(10.0));
+        s.record(1.0);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.max(), Some(10.0));
+    }
+
+    #[test]
+    fn fraction_le_counts_slo_attainment() {
+        let mut s = Samples::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.record(v);
+        }
+        assert_eq!(s.fraction_le(25.0), Some(0.5));
+        assert_eq!(s.fraction_le(5.0), Some(0.0));
+        assert_eq!(s.fraction_le(100.0), Some(1.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_function() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::ZERO, 0.0);
+        ts.record(SimTime::from_secs(1), 10.0);
+        // 1s at 0.0, 1s at 10.0 => mean 5.0 over [0, 2s].
+        let m = ts.time_weighted_mean(SimTime::from_secs(2)).unwrap();
+        assert!((m - 5.0).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn latency_stats_aggregate() {
+        let mut ls = LatencyStats::new();
+        ls.record(RequestLatency {
+            ttft: SimDuration::from_millis(100),
+            tpot: SimDuration::from_millis(40),
+            jct: SimDuration::from_secs(5),
+            output_tokens: 200,
+        });
+        ls.record(RequestLatency {
+            ttft: SimDuration::from_millis(300),
+            tpot: SimDuration::from_millis(60),
+            jct: SimDuration::from_secs(9),
+            output_tokens: 100,
+        });
+        assert_eq!(ls.completed(), 2);
+        assert_eq!(ls.total_output_tokens(), 300);
+        assert!((ls.ttft_ms().mean - 200.0).abs() < 1e-9);
+        assert_eq!(ls.tpot_sla_attainment(50.0), Some(0.5));
+        let thr = ls.decode_throughput(SimDuration::from_secs(10));
+        assert!((thr - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_in_stable_order() {
+        let mut c = Counters::new();
+        c.incr("b");
+        c.add("a", 5);
+        c.incr("b");
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 2);
+        assert_eq!(c.get("never"), 0);
+        let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

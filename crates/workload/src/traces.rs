@@ -1,0 +1,424 @@
+//! Trace generators matched to the paper's published workload statistics.
+
+use crate::poisson_arrivals;
+use serde::Serialize;
+use simcore::{SimRng, SimTime};
+
+/// One request specification. Prompt content is `(shared prefix tokens) ++
+/// (unique tokens)`, both named by `(seed, len)` pairs the platform
+/// materializes deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReqSpec {
+    /// Arrival time at the frontend.
+    pub arrival: SimTime,
+    /// Seed of the unique portion of the prompt.
+    pub prompt_seed: u64,
+    /// Total prompt length in tokens (prefix + unique).
+    pub prompt_len: usize,
+    /// Optional shared prefix: `(seed, tokens)`; `tokens <= prompt_len`.
+    pub shared_prefix: Option<(u64, usize)>,
+    /// Decode length (ground truth; schedulers only see predictions).
+    pub output_len: u32,
+}
+
+impl ReqSpec {
+    /// Length of the unique (non-shared) prompt portion.
+    pub fn unique_len(&self) -> usize {
+        self.prompt_len - self.shared_prefix.map_or(0, |(_, l)| l)
+    }
+}
+
+fn clamp_len(x: f64, lo: usize, hi: usize) -> usize {
+    (x.round() as i64).clamp(lo as i64, hi as i64) as usize
+}
+
+/// The internal chat trace (Figure 4): "roughly 2K input with 200 output",
+/// Poisson arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct ChatTrace {
+    /// Requests per second.
+    pub rps: f64,
+    /// Mean prompt length (tokens).
+    pub mean_input: f64,
+    /// Coefficient of variation of prompt length.
+    pub input_cv: f64,
+    /// Mean output length (tokens).
+    pub mean_output: f64,
+    /// Coefficient of variation of output length.
+    pub output_cv: f64,
+}
+
+impl ChatTrace {
+    /// The Figure 4 configuration at a given RPS.
+    pub fn paper(rps: f64) -> Self {
+        ChatTrace {
+            rps,
+            mean_input: 2048.0,
+            input_cv: 0.25,
+            mean_output: 200.0,
+            output_cv: 0.35,
+        }
+    }
+
+    /// Generates `count` requests.
+    pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
+        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
+        arrivals
+            .into_iter()
+            .map(|arrival| ReqSpec {
+                arrival,
+                prompt_seed: rng.next_u64(),
+                prompt_len: clamp_len(
+                    rng.lognormal_mean_cv(self.mean_input, self.input_cv),
+                    16,
+                    16_000,
+                ),
+                shared_prefix: None,
+                output_len: clamp_len(
+                    rng.lognormal_mean_cv(self.mean_output, self.output_cv),
+                    1,
+                    4_000,
+                ) as u32,
+            })
+            .collect()
+    }
+}
+
+/// The code-generation service trace (Figure 6): long prompts dominated by
+/// shared repository/file contexts, short completions. Shared contexts are
+/// Zipf-popular, so locality-aware scheduling has real structure to exploit.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeGenTrace {
+    /// Requests per second.
+    pub rps: f64,
+    /// Number of distinct shared contexts (repos/sessions).
+    pub contexts: usize,
+    /// Zipf exponent of context popularity.
+    pub zipf_s: f64,
+    /// Shared context length (tokens).
+    pub context_len: usize,
+    /// Mean unique suffix length.
+    pub mean_suffix: f64,
+    /// Mean completion length.
+    pub mean_output: f64,
+    /// Fraction of requests that reuse a shared context at all.
+    pub shared_fraction: f64,
+}
+
+impl CodeGenTrace {
+    /// The Figure 6 configuration at a given RPS.
+    pub fn paper(rps: f64) -> Self {
+        CodeGenTrace {
+            rps,
+            contexts: 32,
+            zipf_s: 1.0,
+            context_len: 3072,
+            mean_suffix: 512.0,
+            mean_output: 256.0,
+            shared_fraction: 0.7,
+        }
+    }
+
+    /// Generates `count` requests.
+    pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
+        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
+        arrivals
+            .into_iter()
+            .map(|arrival| {
+                let shared = rng.chance(self.shared_fraction);
+                let prefix = if shared {
+                    let ctx = rng.zipf(self.contexts, self.zipf_s);
+                    // Context seeds are stable across the trace.
+                    Some((0xC0DE_0000 + ctx as u64, self.context_len))
+                } else {
+                    None
+                };
+                let suffix = clamp_len(rng.lognormal_mean_cv(self.mean_suffix, 0.6), 16, 8_000);
+                let prompt_len = prefix.map_or(0, |(_, l)| l) + suffix;
+                ReqSpec {
+                    arrival,
+                    prompt_seed: rng.next_u64(),
+                    prompt_len,
+                    shared_prefix: prefix,
+                    output_len: clamp_len(rng.lognormal_mean_cv(self.mean_output, 0.5), 1, 2_000)
+                        as u32,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fixed-shape batches for the Figure 5 heatmap: identical requests at a
+/// fixed RPS, one batch per heatmap cell.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedShape {
+    /// Prompt length.
+    pub prefill: usize,
+    /// Decode length.
+    pub decode: u32,
+    /// Requests per second.
+    pub rps: f64,
+    /// Batch size (requests in the cell's run).
+    pub count: usize,
+}
+
+impl FixedShape {
+    /// Generates the batch; prompts are mutually distinct (no accidental
+    /// prefix-cache interference inside a cell).
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<ReqSpec> {
+        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, self.count);
+        arrivals
+            .into_iter()
+            .map(|arrival| ReqSpec {
+                arrival,
+                prompt_seed: rng.next_u64(),
+                prompt_len: self.prefill,
+                shared_prefix: None,
+                output_len: self.decode,
+            })
+            .collect()
+    }
+}
+
+/// Multi-turn chat with shared conversation prefixes (locality studies):
+/// each conversation's next turn extends its previous prompt.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedPrefixChat {
+    /// Requests per second (across all conversations).
+    pub rps: f64,
+    /// Concurrent conversations.
+    pub conversations: usize,
+    /// Zipf exponent of conversation activity.
+    pub zipf_s: f64,
+    /// First-turn prompt length.
+    pub first_turn_len: usize,
+    /// Tokens added per turn (user message + previous reply).
+    pub turn_growth: usize,
+    /// Mean reply length.
+    pub mean_output: f64,
+}
+
+impl SharedPrefixChat {
+    /// A typical interactive configuration.
+    pub fn standard(rps: f64) -> Self {
+        SharedPrefixChat {
+            rps,
+            conversations: 24,
+            zipf_s: 0.8,
+            first_turn_len: 512,
+            turn_growth: 256,
+            mean_output: 180.0,
+        }
+    }
+
+    /// Generates `count` turns. Turn `k` of conversation `c` shares its
+    /// entire prompt-prefix with turn `k+1`.
+    pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
+        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
+        let mut turn_of: Vec<usize> = vec![0; self.conversations];
+        arrivals
+            .into_iter()
+            .map(|arrival| {
+                let c = rng.zipf(self.conversations, self.zipf_s);
+                let turn = turn_of[c];
+                turn_of[c] += 1;
+                let prefix_len = self.first_turn_len + turn * self.turn_growth;
+                ReqSpec {
+                    arrival,
+                    // The "unique" part is the latest user message; its seed
+                    // is derived so that the *next* turn reproduces it as
+                    // part of its prefix.
+                    prompt_seed: conversation_seed(c as u64, turn as u64),
+                    prompt_len: prefix_len + self.turn_growth,
+                    shared_prefix: Some((conversation_prefix_seed(c as u64), prefix_len)),
+                    output_len: clamp_len(rng.lognormal_mean_cv(self.mean_output, 0.4), 1, 1_000)
+                        as u32,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Seed of a conversation's growing shared prefix. All turns of one
+/// conversation share it, so turn k's prompt is a strict prefix of turn
+/// k+1's.
+pub fn conversation_prefix_seed(conversation: u64) -> u64 {
+    0xCAFE_0000_0000 ^ conversation
+}
+
+fn conversation_seed(conversation: u64, turn: u64) -> u64 {
+    0xBEEF_0000 ^ (conversation << 20) ^ turn
+}
+
+/// A step-burst load for autoscaling studies: `base_rps` until
+/// `burst_at`, then `burst_rps` for `burst_secs`, then back.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstLoad {
+    /// Baseline request rate.
+    pub base_rps: f64,
+    /// Burst request rate.
+    pub burst_rps: f64,
+    /// Burst start.
+    pub burst_at: SimTime,
+    /// Burst duration in seconds.
+    pub burst_secs: f64,
+    /// Chat-shaped request bodies.
+    pub shape: ChatTrace,
+}
+
+impl BurstLoad {
+    /// Generates requests covering `total_secs` of wall time.
+    pub fn generate(&self, rng: &mut SimRng, total_secs: f64) -> Vec<ReqSpec> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + simcore::SimDuration::from_secs_f64(total_secs);
+        let burst_end = self.burst_at + simcore::SimDuration::from_secs_f64(self.burst_secs);
+        while t < end {
+            let rate = if t >= self.burst_at && t < burst_end {
+                self.burst_rps
+            } else {
+                self.base_rps
+            };
+            t += simcore::SimDuration::from_secs_f64(rng.exp(rate));
+            if t >= end {
+                break;
+            }
+            out.push(ReqSpec {
+                arrival: t,
+                prompt_seed: rng.next_u64(),
+                prompt_len: clamp_len(
+                    rng.lognormal_mean_cv(self.shape.mean_input, self.shape.input_cv),
+                    16,
+                    16_000,
+                ),
+                shared_prefix: None,
+                output_len: clamp_len(
+                    rng.lognormal_mean_cv(self.shape.mean_output, self.shape.output_cv),
+                    1,
+                    4_000,
+                ) as u32,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn chat_trace_matches_published_stats() {
+        let reqs = ChatTrace::paper(1.0).generate(&mut rng(), 5_000);
+        let mean_in: f64 =
+            reqs.iter().map(|r| r.prompt_len as f64).sum::<f64>() / reqs.len() as f64;
+        let mean_out: f64 =
+            reqs.iter().map(|r| r.output_len as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((mean_in - 2048.0).abs() < 60.0, "mean input {mean_in}");
+        assert!((mean_out - 200.0).abs() < 8.0, "mean output {mean_out}");
+    }
+
+    #[test]
+    fn codegen_trace_reuses_popular_contexts() {
+        let reqs = CodeGenTrace::paper(10.0).generate(&mut rng(), 5_000);
+        let shared = reqs.iter().filter(|r| r.shared_prefix.is_some()).count();
+        let frac = shared as f64 / reqs.len() as f64;
+        assert!((frac - 0.7).abs() < 0.03, "shared fraction {frac}");
+        // Context popularity must be skewed: the most common context
+        // should appear far more often than 1/contexts.
+        let mut counts = std::collections::HashMap::new();
+        for r in &reqs {
+            if let Some((seed, _)) = r.shared_prefix {
+                *counts.entry(seed).or_insert(0usize) += 1;
+            }
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max as f64 / shared as f64 > 2.0 / 32.0 * 3.0);
+    }
+
+    #[test]
+    fn fixed_shape_is_uniform() {
+        let w = FixedShape {
+            prefill: 2048,
+            decode: 128,
+            rps: 0.5,
+            count: 64,
+        };
+        let reqs = w.generate(&mut rng());
+        assert_eq!(reqs.len(), 64);
+        assert!(reqs.iter().all(|r| r.prompt_len == 2048 && r.output_len == 128));
+        // Distinct seeds: no accidental prefix sharing.
+        let mut seeds: Vec<u64> = reqs.iter().map(|r| r.prompt_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn multi_turn_prompts_grow_within_conversation() {
+        let w = SharedPrefixChat::standard(5.0);
+        let reqs = w.generate(&mut rng(), 2_000);
+        // Group by conversation prefix seed; lengths must increase with
+        // turn order.
+        let mut by_conv: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for r in &reqs {
+            let (seed, len) = r.shared_prefix.unwrap();
+            by_conv.entry(seed).or_default().push(len);
+        }
+        assert!(by_conv.len() > 4, "several conversations active");
+        for lens in by_conv.values() {
+            for w in lens.windows(2) {
+                assert!(w[1] >= w[0], "prefix grows monotonically per turn");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_load_changes_rate() {
+        let w = BurstLoad {
+            base_rps: 1.0,
+            burst_rps: 30.0,
+            burst_at: SimTime::from_secs(100),
+            burst_secs: 50.0,
+            shape: ChatTrace::paper(1.0),
+        };
+        let reqs = w.generate(&mut rng(), 300.0);
+        let in_burst = reqs
+            .iter()
+            .filter(|r| {
+                r.arrival >= SimTime::from_secs(100) && r.arrival < SimTime::from_secs(150)
+            })
+            .count();
+        let before = reqs
+            .iter()
+            .filter(|r| r.arrival < SimTime::from_secs(100))
+            .count();
+        // 50 s of 30 rps vs 100 s of 1 rps.
+        assert!(in_burst > 1_000, "burst count {in_burst}");
+        assert!(before < 150, "calm count {before}");
+    }
+
+    #[test]
+    fn specs_are_deterministic_per_seed() {
+        let a = ChatTrace::paper(2.0).generate(&mut SimRng::seed_from_u64(5), 100);
+        let b = ChatTrace::paper(2.0).generate(&mut SimRng::seed_from_u64(5), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unique_len_subtracts_prefix() {
+        let r = ReqSpec {
+            arrival: SimTime::ZERO,
+            prompt_seed: 1,
+            prompt_len: 1000,
+            shared_prefix: Some((9, 600)),
+            output_len: 10,
+        };
+        assert_eq!(r.unique_len(), 400);
+    }
+}

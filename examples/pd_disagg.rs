@@ -1,0 +1,62 @@
+//! Prefill–decode disaggregation in action (§4.5): the same chat workload
+//! served by four PD-colocated TEs vs a 2-prefill/2-decode disaggregated
+//! pool, with KV migrated over the NPU fabric by DistFlow.
+//!
+//! Run with: `cargo run --release --example pd_disagg`
+
+use deepserve_repro::deepserve::{
+    materialize_trace, ClusterConfig, ClusterSim, Policy, RunReport, TeRole,
+};
+use deepserve_repro::simcore::SimRng;
+use deepserve_repro::workloads::ChatTrace;
+
+fn run(roles: &[TeRole], rps: f64) -> RunReport {
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, roles);
+    let mut rng = SimRng::seed_from_u64(13);
+    let trace = ChatTrace::paper(rps).generate(&mut rng, 250);
+    sim.inject(materialize_trace(&trace, 64_000));
+    sim.run_to_completion()
+}
+
+fn main() {
+    let rps = 0.8;
+    println!("chat trace (~2K in / 200 out) at {rps} rps, 4 engines each\n");
+
+    let mut coloc = run(&[TeRole::Colocated; 4], rps);
+    let mut disagg = run(
+        &[
+            TeRole::Prefill,
+            TeRole::Prefill,
+            TeRole::Decode,
+            TeRole::Decode,
+        ],
+        rps,
+    );
+
+    for (name, report) in [("4x PD-colocated", &mut coloc), ("2P + 2D disaggregated", &mut disagg)]
+    {
+        let ttft = report.latency.ttft_ms();
+        let tpot = report.latency.tpot_ms();
+        println!("{name}:");
+        println!("  TTFT p50/p99: {:.0} / {:.0} ms", ttft.p50, ttft.p99);
+        println!("  TPOT p50/p99: {:.1} / {:.1} ms", tpot.p50, tpot.p99);
+        println!(
+            "  TPOT <= 50ms attainment: {:.1}%",
+            report.latency.tpot_sla_attainment(50.0).unwrap_or(0.0) * 100.0
+        );
+        println!(
+            "  KV migrations: {} ({} MB moved)",
+            report.counters.get("sim.kv_migrations"),
+            report.counters.get("sim.kv_bytes_migrated") / (1 << 20)
+        );
+        println!();
+    }
+    println!(
+        "Expected shape (Figure 4): disaggregation keeps decode iterations\n\
+         free of prefill interference, lowering TPOT at the same load."
+    );
+}

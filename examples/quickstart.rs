@@ -1,0 +1,55 @@
+//! Quickstart: stand up a small DeepServe cluster, serve a chat workload,
+//! print the serving metrics the paper reports (TTFT / TPOT / JCT /
+//! throughput).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deepserve_repro::deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
+use deepserve_repro::simcore::SimRng;
+use deepserve_repro::workloads::ChatTrace;
+
+fn main() {
+    // A 4-server Gen2 Ascend cluster serving the internal 34B model at
+    // TP=4 — the paper's standard serving testbed.
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+
+    // Two PD-colocated TEs plus one prefill/decode pair.
+    let roles = [
+        TeRole::Colocated,
+        TeRole::Colocated,
+        TeRole::Prefill,
+        TeRole::Decode,
+    ];
+    let mut sim = ClusterSim::new(cfg, &roles);
+    println!("cluster up: {:?}", sim.roles());
+
+    // The paper's internal chat trace: ~2K input, ~200 output, Poisson
+    // arrivals at 0.8 requests/second.
+    let mut rng = SimRng::seed_from_u64(42);
+    let trace = ChatTrace::paper(0.8).generate(&mut rng, 200);
+    let requests = materialize_trace(&trace, 64_000);
+    println!("injecting {} chat requests at 0.8 rps", requests.len());
+
+    sim.inject(requests);
+    let mut report = sim.run_to_completion();
+
+    println!();
+    println!("completed : {}", report.latency.completed());
+    println!("makespan  : {}", report.makespan);
+    println!("TTFT (ms) : {}", report.latency.ttft_ms());
+    println!("TPOT (ms) : {}", report.latency.tpot_ms());
+    println!("JCT  (ms) : {}", report.latency.jct_ms());
+    println!("decode throughput: {:.1} tok/s", report.throughput());
+    println!(
+        "TPOT <= 50ms SLO attainment: {:.1}%",
+        report.latency.tpot_sla_attainment(50.0).unwrap_or(0.0) * 100.0
+    );
+    println!();
+    println!("routing and transfer counters:");
+    for (k, v) in report.counters.iter() {
+        println!("  {k} = {v}");
+    }
+}

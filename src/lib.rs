@@ -1,0 +1,12 @@
+//! Umbrella crate for the DeepServe reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use deepserve_repro::...`. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the system inventory.
+
+pub use deepserve;
+pub use flowserve;
+pub use llm_model;
+pub use npu;
+pub use simcore;
+pub use workloads;

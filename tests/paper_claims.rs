@@ -1,0 +1,195 @@
+//! Cross-crate integration tests pinning the paper's headline claims at
+//! small scale. These are fast versions of the figure benches: if one of
+//! these breaks, the corresponding figure's shape has regressed.
+
+use deepserve_repro::deepserve::{
+    materialize_trace, ClusterConfig, ClusterSim, LoadPath, ScalingModel,
+    ScalingOptimizations, SourceLoad, TeRole,
+};
+use deepserve_repro::flowserve::{
+    synthetic_tokens, Engine, EngineConfig, EngineEvent, EngineVersion, NewRequest, RequestId,
+};
+use deepserve_repro::llm_model::{Checkpoint, ExecCostModel, ModelSpec, Parallelism};
+use deepserve_repro::npu::pagecache::FileId;
+use deepserve_repro::npu::specs::ClusterSpec;
+use deepserve_repro::simcore::{SimRng, SimTime};
+use deepserve_repro::workloads::ChatTrace;
+
+fn cost_34b() -> ExecCostModel {
+    let c = ClusterSpec::gen2_cluster(1);
+    ExecCostModel::new(
+        c.server.chip.clone(),
+        c.hccs,
+        ModelSpec::internal_34b(),
+        Parallelism::tp(4),
+    )
+}
+
+/// Figure 3's ordering: offline decode throughput v1 < v2 < v3 at a fixed
+/// batch, and v2 at least 1.5x v1 (paper: >2x at the 50ms SLA point).
+#[test]
+fn engine_versions_order_offline_throughput() {
+    let run = |version: EngineVersion| -> f64 {
+        let batch = 48;
+        let cfg = EngineConfig {
+            version,
+            prefill_chunk_tokens: 2048 * batch,
+            ..EngineConfig::colocated()
+        };
+        let mut e = Engine::new(cfg, cost_34b());
+        for i in 0..batch {
+            e.submit(
+                SimTime::ZERO,
+                NewRequest {
+                    id: RequestId(i as u64),
+                    prompt: synthetic_tokens(i as u64, 2048, 64_000),
+                    target_output: 129,
+                    arrival: SimTime::ZERO,
+                    cache_id: None,
+                },
+            );
+        }
+        let mut now = SimTime::ZERO;
+        let mut finish = SimTime::ZERO;
+        let mut first = SimTime::ZERO;
+        while let Some(w) = e.next_wake(now) {
+            now = w;
+            for ev in e.advance(now) {
+                match ev {
+                    EngineEvent::FirstToken { at, .. } => first = first.max_of(at),
+                    EngineEvent::Finished { at, .. } => finish = at,
+                    _ => {}
+                }
+            }
+        }
+        (batch * 128) as f64 / finish.since(first).as_secs_f64()
+    };
+    let v1 = run(EngineVersion::v1());
+    let v2 = run(EngineVersion::v2());
+    let v3 = run(EngineVersion::v3());
+    // At a *fixed* batch the async win is smaller than at the SLA-matched
+    // point (where bigger batches fit under 50 ms); the full >2x claim is
+    // checked by the fig3_offline_perf bench, which interpolates the SLA
+    // crossing. Here we pin the ordering and a conservative margin.
+    assert!(v2 > 1.4 * v1, "v2 ({v2:.0}) must be >=1.4x v1 ({v1:.0})");
+    assert!(v3 > v2, "v3 ({v3:.0}) must beat v2 ({v2:.0})");
+}
+
+/// Figure 4's headline: at an offered load that saturates colocated
+/// serving, disaggregation holds TPOT under the SLA.
+#[test]
+fn disaggregation_protects_tpot_under_load() {
+    let run = |roles: &[TeRole]| {
+        let mut rng = SimRng::seed_from_u64(99);
+        let trace = ChatTrace::paper(8.0).generate(&mut rng, 120);
+        let mut sim = ClusterSim::new(ClusterConfig::standard_34b(), roles);
+        sim.inject(materialize_trace(&trace, 64_000));
+        let mut r = sim.run_to_completion();
+        r.latency.tpot_ms().p90
+    };
+    let coloc = run(&[TeRole::Colocated; 4]);
+    let disagg = run(&[
+        TeRole::Prefill,
+        TeRole::Prefill,
+        TeRole::Decode,
+        TeRole::Decode,
+    ]);
+    assert!(
+        disagg < coloc * 0.7,
+        "disagg TPOT p90 ({disagg:.1}ms) must clearly beat colocated ({coloc:.1}ms)"
+    );
+}
+
+/// Figure 9's ordering: theoretical < DRAM-hit < DRAM-miss, and NPU-fork
+/// over HCCS beats everything local.
+#[test]
+fn te_load_paths_order_correctly() {
+    let m = ScalingModel::new(ClusterSpec::gen2_cluster(4));
+    let ckpt = Checkpoint::new(FileId(1), ModelSpec::internal_34b());
+    let par = Parallelism::tp(4);
+    let idle = SourceLoad::idle();
+    let theory = m.te_load_theoretical(&ckpt, par);
+    let hit = m.te_load(&ckpt, par, LoadPath::DramHit, idle);
+    let miss = m.te_load(&ckpt, par, LoadPath::DramMiss, idle);
+    let fork = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, idle);
+    assert!(theory < hit && hit < miss);
+    assert!(fork < hit);
+}
+
+/// Figure 10's flatness: forking to 64 TEs costs < 1.6x forking to one,
+/// and a fully busy source adds < 10%.
+#[test]
+fn npu_fork_scales_flat_with_bounded_contention() {
+    let m = ScalingModel::new(ClusterSpec::gen2_cluster(16));
+    let ckpt = Checkpoint::new(FileId(1), ModelSpec::llama3_8b());
+    let par = Parallelism::tp(1);
+    let one = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, SourceLoad::idle());
+    let sixty_four = m.te_load(
+        &ckpt,
+        par,
+        LoadPath::NpuForkHccs { fanout: 64 },
+        SourceLoad::idle(),
+    );
+    assert!(sixty_four.as_secs_f64() < 1.6 * one.as_secs_f64());
+    // "scale up to 64 instances in parallel within seconds"
+    assert!(sixty_four.as_secs_f64() < 5.0);
+    let busy = m.te_load(
+        &ckpt,
+        par,
+        LoadPath::NpuForkHccs { fanout: 64 },
+        SourceLoad { intensity: 1.0 },
+    );
+    assert!(busy.as_secs_f64() < 1.10 * sixty_four.as_secs_f64());
+}
+
+/// Figure 8's totals: a cold scale-up takes minutes; a fully optimized one
+/// takes seconds.
+#[test]
+fn scaling_pipeline_before_after() {
+    let m = ScalingModel::new(ClusterSpec::gen2_cluster(4));
+    let ckpt = Checkpoint::new(FileId(1), ModelSpec::internal_34b());
+    let par = Parallelism::tp(4);
+    let before = m
+        .breakdown(
+            &ckpt,
+            par,
+            ScalingOptimizations::none(),
+            LoadPath::DramMiss,
+            SourceLoad::idle(),
+        )
+        .total();
+    let after = m
+        .breakdown(
+            &ckpt,
+            par,
+            ScalingOptimizations::all(),
+            LoadPath::NpuForkHccs { fanout: 1 },
+            SourceLoad::idle(),
+        )
+        .total();
+    assert!(before.as_secs_f64() > 60.0);
+    assert!(after.as_secs_f64() < 5.0);
+    assert!(before.as_secs_f64() / after.as_secs_f64() > 20.0);
+}
+
+/// The combined policy's scheduling is deterministic across the whole
+/// stack (workloads -> platform -> engines -> fabric).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut rng = SimRng::seed_from_u64(3);
+        let trace = ChatTrace::paper(2.0).generate(&mut rng, 60);
+        let mut sim = ClusterSim::new(
+            ClusterConfig::standard_34b(),
+            &[TeRole::Colocated, TeRole::Prefill, TeRole::Decode],
+        );
+        sim.inject(materialize_trace(&trace, 64_000));
+        let mut r = sim.run_to_completion();
+        (
+            r.latency.completed(),
+            r.latency.jct_ms().mean.to_bits(),
+            r.counters.get("sim.kv_bytes_migrated"),
+        )
+    };
+    assert_eq!(run(), run());
+}
