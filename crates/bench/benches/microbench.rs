@@ -146,6 +146,62 @@ fn bench_shared_link(c: &mut Criterion) {
     });
 }
 
+fn engine_34b() -> flowserve::Engine {
+    use llm_model::{ExecCostModel, ModelSpec, Parallelism};
+    use npu::specs::ClusterSpec;
+    let cl = ClusterSpec::gen2_cluster(1);
+    let cost = ExecCostModel::new(
+        cl.server.chip.clone(),
+        cl.hccs,
+        ModelSpec::internal_34b(),
+        Parallelism::tp(4),
+    );
+    flowserve::Engine::new(flowserve::EngineConfig::colocated(), cost)
+}
+
+fn drive_engine(mut engine: flowserve::Engine) {
+    use flowserve::{NewRequest, RequestId};
+    for i in 0..16u64 {
+        engine.submit(
+            SimTime::ZERO,
+            NewRequest {
+                id: RequestId(i),
+                prompt: synthetic_tokens(i, 512, 64_000),
+                target_output: 32,
+                arrival: SimTime::ZERO,
+                cache_id: None,
+            },
+        );
+    }
+    let mut now = SimTime::ZERO;
+    while let Some(wake) = engine.next_wake(now) {
+        now = wake;
+        black_box(engine.advance(now).len());
+    }
+}
+
+/// The acceptance bar for the tracing layer: a disabled tracer must not
+/// slow the engine loop. Compare `engine/16req_untraced` against
+/// `engine/16req_traced_full` — the first must match the pre-tracing
+/// baseline, the second prices full-detail tracing.
+fn bench_engine_step(c: &mut Criterion) {
+    use simcore::TraceLevel;
+    c.bench_function("engine/16req_untraced", |b| {
+        b.iter_batched(engine_34b, drive_engine, BatchSize::SmallInput)
+    });
+    c.bench_function("engine/16req_traced_full", |b| {
+        b.iter_batched(
+            || {
+                let mut e = engine_34b();
+                e.enable_tracing(TraceLevel::Full, 1 << 20);
+                e
+            },
+            drive_engine,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -154,6 +210,7 @@ criterion_group!(
     bench_tokenizer,
     bench_prompt_tree,
     bench_heatmap,
-    bench_shared_link
+    bench_shared_link,
+    bench_engine_step
 );
 criterion_main!(benches);

@@ -20,8 +20,8 @@ use workloads::ChatTrace;
 
 #[derive(Serialize, Default)]
 struct Output {
-    chunk_sweep: Vec<(usize, f64, f64)>,      // (chunk, ttft_mean, tpot_mean)
-    kv_overlap: Vec<(f64, f64, f64)>,         // (overlap, ttft_mean, jct_mean)
+    chunk_sweep: Vec<(usize, f64, f64)>, // (chunk, ttft_mean, tpot_mean)
+    kv_overlap: Vec<(f64, f64, f64)>,    // (overlap, ttft_mean, jct_mean)
 }
 
 fn run_chat(cfg: ClusterConfig, roles: &[TeRole], seed: u64, rps: f64) -> (f64, f64, f64) {

@@ -53,7 +53,12 @@ fn main() {
     println!("{:>8} {:>12}", "N", "time (s)");
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let t = m
-            .te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: n }, SourceLoad::idle())
+            .te_load(
+                &ckpt,
+                par,
+                LoadPath::NpuForkHccs { fanout: n },
+                SourceLoad::idle(),
+            )
             .as_secs_f64();
         println!("{n:>8} {t:>12.2}");
         out.scaling.push((n, t));

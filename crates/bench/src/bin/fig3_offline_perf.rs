@@ -83,7 +83,11 @@ fn run_offline(version: EngineVersion, prefill: usize, batch: usize) -> (f64, f6
 
 fn main() {
     header("Figure 3: FlowServe offline decode perf (34B, TP=4, 256 decode iters)");
-    let versions = [EngineVersion::v1(), EngineVersion::v2(), EngineVersion::v3()];
+    let versions = [
+        EngineVersion::v1(),
+        EngineVersion::v2(),
+        EngineVersion::v3(),
+    ];
     let batches = [
         1usize, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64, 80, 96, 112, 128, 160, 192, 224, 256,
     ];
@@ -102,7 +106,10 @@ fn main() {
             for &batch in &batches {
                 let (tpot, thr) = run_offline(v, prefill, batch);
                 println!("{:>6} {:>8} {:>12.2} {:>16.1}", v.name, batch, tpot, thr);
-                series.entry((v.name, prefill)).or_default().push((tpot, thr));
+                series
+                    .entry((v.name, prefill))
+                    .or_default()
+                    .push((tpot, thr));
                 points.push(Point {
                     version: v.name,
                     prefill,
@@ -143,8 +150,6 @@ fn main() {
             (v3 / v2.max(1e-9) - 1.0) * 100.0
         );
     }
-    println!(
-        "\npaper shape: v2 >= ~2x v1 at the 50ms SLA; v3 ~= +20% over v2."
-    );
+    println!("\npaper shape: v2 >= ~2x v1 at the 50ms SLA; v3 ~= +20% over v2.");
     write_json("fig3_offline_perf", &points);
 }

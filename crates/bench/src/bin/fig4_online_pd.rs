@@ -15,9 +15,10 @@
 //! Run: `cargo run --release -p deepserve-bench --bin fig4_online_pd`
 
 use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
-use deepserve_bench::{header, write_json};
+use deepserve_bench::{header, trace_out, write_json, write_trace};
+use serde::value::{Number, Value};
 use serde::Serialize;
-use simcore::SimRng;
+use simcore::{SimRng, TraceLevel};
 use workloads::ChatTrace;
 
 const REQUESTS: usize = 240;
@@ -61,10 +62,20 @@ fn setups() -> Vec<(&'static str, Vec<TeRole>)> {
 fn main() {
     header("Figure 4: online serving, PD-disaggregated vs PD-colocated (34B TP=4)");
     println!("trace: ~2K input / 200 output, Poisson arrivals, {REQUESTS} requests/point");
+    let trace_path = trace_out("fig4_online_pd");
+    let mut trace_runs: Vec<Value> = Vec::new();
     let mut points = Vec::new();
     println!(
         "\n{:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "setup", "rps", "TTFT p50", "TTFT p99", "TPOT p50", "TPOT p99", "thr tok/s", "TPOT SLA", "TTFT SLA"
+        "setup",
+        "rps",
+        "TTFT p50",
+        "TTFT p99",
+        "TPOT p50",
+        "TPOT p99",
+        "thr tok/s",
+        "TPOT SLA",
+        "TTFT SLA"
     );
     for (name, roles) in setups() {
         for step in 1..=6 {
@@ -77,8 +88,22 @@ fn main() {
                 ..ClusterConfig::standard_34b()
             };
             let mut sim = ClusterSim::new(cfg, &roles);
+            // Trace the heaviest step of each setup: lifecycle-level spans for
+            // every request, plus the run's metrics registry.
+            let traced = trace_path.is_some() && step == 6;
+            if traced {
+                sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+            }
             sim.inject(materialize_trace(&trace, 64_000));
             let mut report = sim.run_to_completion();
+            if traced {
+                trace_runs.push(Value::Object(vec![
+                    ("setup".into(), Value::String(name.to_string())),
+                    ("rps".into(), Value::Number(Number::F64(rps))),
+                    ("trace".into(), report.trace.to_json()),
+                    ("metrics".into(), report.metrics.to_json()),
+                ]));
+            }
             let ttft = report.latency.ttft_ms();
             let tpot = report.latency.tpot_ms();
             let jct = report.latency.jct_ms();
@@ -91,8 +116,14 @@ fn main() {
                 tpot_p99_ms: tpot.p99,
                 jct_p50_ms: jct.p50,
                 throughput_tok_s: report.throughput(),
-                tpot_sla_attainment: report.latency.tpot_sla_attainment(TPOT_SLA_MS).unwrap_or(0.0),
-                ttft_sla_attainment: report.latency.ttft_sla_attainment(TTFT_SLA_MS).unwrap_or(0.0),
+                tpot_sla_attainment: report
+                    .latency
+                    .tpot_sla_attainment(TPOT_SLA_MS)
+                    .unwrap_or(0.0),
+                ttft_sla_attainment: report
+                    .latency
+                    .ttft_sla_attainment(TTFT_SLA_MS)
+                    .unwrap_or(0.0),
             };
             println!(
                 "{:>6} {:>6.1} {:>10.0} {:>10.0} {:>10.1} {:>10.1} {:>12.1} {:>9.0}% {:>9.0}%",
@@ -126,4 +157,10 @@ fn main() {
          and show lower TPOT than 4C at matched load."
     );
     write_json("fig4_online_pd", &points);
+    if let Some(path) = &trace_path {
+        write_trace(
+            path,
+            &Value::Object(vec![("runs".into(), Value::Array(trace_runs))]),
+        );
+    }
 }

@@ -82,12 +82,31 @@ fn main() {
     let stability = Heatmap::sign_stability(&maps);
 
     header("Shape check");
-    let max_win = combined.cells.iter().flatten().cloned().fold(f64::MIN, f64::max);
-    let max_loss = combined.cells.iter().flatten().cloned().fold(f64::MAX, f64::min);
-    println!("long-prefill/short-decode cell (16K, 1/64): {:+.2}", combined.cells[ROWS - 1][0]);
-    println!("short-prefill/long-decode cell (256, 1.0):  {:+.2}", combined.cells[0][COLS - 1]);
+    let max_win = combined
+        .cells
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    let max_loss = combined
+        .cells
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    println!(
+        "long-prefill/short-decode cell (16K, 1/64): {:+.2}",
+        combined.cells[ROWS - 1][0]
+    );
+    println!(
+        "short-prefill/long-decode cell (256, 1.0):  {:+.2}",
+        combined.cells[0][COLS - 1]
+    );
     println!("max win {max_win:+.2} vs max loss {max_loss:+.2} (paper: wins > losses)");
-    println!("sign stability across RPS: {:.0}% (paper: >80%)", stability * 100.0);
+    println!(
+        "sign stability across RPS: {:.0}% (paper: >80%)",
+        stability * 100.0
+    );
 
     write_json(
         "fig5_heatmap",

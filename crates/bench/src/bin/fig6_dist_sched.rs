@@ -84,7 +84,12 @@ fn main() {
             let p = run(policy, rps, 7_000 + (rps * 10.0) as u64);
             println!(
                 "{:>10} {:>6.1} {:>12.0} {:>12.0} {:>11.1} {:>11.1} {:>12.1}",
-                p.policy, p.rps, p.jct_mean_ms, p.jct_p99_ms, p.tpot_mean_ms, p.tpot_p99_ms,
+                p.policy,
+                p.rps,
+                p.jct_mean_ms,
+                p.jct_p99_ms,
+                p.tpot_mean_ms,
+                p.tpot_p99_ms,
                 p.throughput_tok_s
             );
             points.push(p);

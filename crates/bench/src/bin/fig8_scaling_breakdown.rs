@@ -8,11 +8,12 @@
 //! Run: `cargo run --release -p deepserve-bench --bin fig8_scaling_breakdown`
 
 use deepserve::{LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad};
-use deepserve_bench::{header, write_json};
+use deepserve_bench::{header, trace_out, write_json, write_trace};
 use llm_model::{Checkpoint, ModelSpec, Parallelism};
 use npu::pagecache::FileId;
 use npu::specs::ClusterSpec;
 use serde::Serialize;
+use simcore::{SimTime, Trace, TraceLevel, Tracer};
 
 #[derive(Serialize)]
 struct Row {
@@ -26,11 +27,7 @@ struct Row {
     total_s: f64,
 }
 
-fn row(
-    model: &'static str,
-    config: &'static str,
-    b: ScalingBreakdown,
-) -> Row {
+fn row(model: &'static str, config: &'static str, b: ScalingBreakdown) -> Row {
     Row {
         model,
         config,
@@ -61,15 +58,37 @@ fn main() {
     header("Figure 8 / Table 2: end-to-end scaling breakdown (seconds)");
     println!(
         "{:>12} {:>26} {:>10} {:>12} {:>9} {:>13} {:>12} {:>9}",
-        "model", "config", "ScalerPre", "TE-Pre-Load", "TE-Load", "TE-Post-Load", "Scaler-Post", "TOTAL"
+        "model",
+        "config",
+        "ScalerPre",
+        "TE-Pre-Load",
+        "TE-Load",
+        "TE-Post-Load",
+        "Scaler-Post",
+        "TOTAL"
     );
 
     let cluster = ClusterSpec::gen2_cluster(4);
     let m = ScalingModel::new(cluster);
     let mut rows = Vec::new();
 
+    let trace_path = trace_out("fig8_scaling_breakdown");
+    let mut combined = Trace::default();
+    let mut record_trace = |component: &str, b: &ScalingBreakdown| {
+        if trace_path.is_none() {
+            return;
+        }
+        let mut t = Tracer::enabled(TraceLevel::Lifecycle, 64);
+        b.emit_trace(&mut t, SimTime::ZERO);
+        combined.absorb(component, t.take());
+    };
+
     let cases = [
-        ("internal-34b", ModelSpec::internal_34b(), Parallelism::tp(4)),
+        (
+            "internal-34b",
+            ModelSpec::internal_34b(),
+            Parallelism::tp(4),
+        ),
         ("llama3-70b", ModelSpec::llama3_70b(), Parallelism::tp(8)),
     ];
     for (name, spec, par) in cases {
@@ -83,6 +102,7 @@ fn main() {
             LoadPath::DramMiss,
             SourceLoad::idle(),
         );
+        record_trace(&format!("{name}/before"), &before);
         let r = row(name, "before (cold)", before);
         print_row(&r);
         rows.push(r);
@@ -94,7 +114,14 @@ fn main() {
             npu_fork: false,
             ..ScalingOptimizations::all()
         };
-        let after_sw = m.breakdown(&ckpt, par, opts_no_prewarm, LoadPath::DramHit, SourceLoad::idle());
+        let after_sw = m.breakdown(
+            &ckpt,
+            par,
+            opts_no_prewarm,
+            LoadPath::DramHit,
+            SourceLoad::idle(),
+        );
+        record_trace(&format!("{name}/after-sw"), &after_sw);
         let r = row(name, "after (opt, no TE prewarm)", after_sw);
         print_row(&r);
         rows.push(r);
@@ -107,6 +134,7 @@ fn main() {
             LoadPath::NpuForkHccs { fanout: 1 },
             SourceLoad::idle(),
         );
+        record_trace(&format!("{name}/after-all"), &after_all);
         let r = row(name, "after (all optimizations)", after_all);
         print_row(&r);
         rows.push(r);
@@ -128,7 +156,10 @@ fn main() {
     let before = &rows[0];
     let mid = &rows[1];
     let after = &rows[2];
-    println!("34B cold total {:.1}s -> software-optimized {:.1}s -> fully pre-warmed {:.1}s", before.total_s, mid.total_s, after.total_s);
+    println!(
+        "34B cold total {:.1}s -> software-optimized {:.1}s -> fully pre-warmed {:.1}s",
+        before.total_s, mid.total_s, after.total_s
+    );
     println!(
         "TE-Pre-Load share after software opts: {:.0}% (paper: dominant)",
         mid.te_pre_load_s / mid.total_s * 100.0
@@ -138,4 +169,7 @@ fn main() {
         if after.total_s < 5.0 { "yes" } else { "NO" }
     );
     write_json("fig8_scaling_breakdown", &rows);
+    if let Some(path) = &trace_path {
+        write_trace(path, &combined.to_json());
+    }
 }

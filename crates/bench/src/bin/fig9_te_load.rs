@@ -52,7 +52,9 @@ fn main() {
             per_npu_gb: ckpt.partition_bytes(par) as f64 / (1u64 << 30) as f64,
             theoretical_s: m.te_load_theoretical(&ckpt, par).as_secs_f64(),
             dram_hit_s: m.te_load(&ckpt, par, LoadPath::DramHit, idle).as_secs_f64(),
-            dram_miss_s: m.te_load(&ckpt, par, LoadPath::DramMiss, idle).as_secs_f64(),
+            dram_miss_s: m
+                .te_load(&ckpt, par, LoadPath::DramMiss, idle)
+                .as_secs_f64(),
             fork_hccs_s: m
                 .te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, idle)
                 .as_secs_f64(),
@@ -62,8 +64,14 @@ fn main() {
         };
         println!(
             "{:>14} {:>4} {:>10.1} {:>13.2} {:>10.2} {:>11.2} {:>11.2} {:>11.2}",
-            r.model, r.tp, r.per_npu_gb, r.theoretical_s, r.dram_hit_s, r.dram_miss_s,
-            r.fork_hccs_s, r.fork_roce_s
+            r.model,
+            r.tp,
+            r.per_npu_gb,
+            r.theoretical_s,
+            r.dram_hit_s,
+            r.dram_miss_s,
+            r.fork_hccs_s,
+            r.fork_roce_s
         );
         rows.push(r);
     }
@@ -82,10 +90,7 @@ fn main() {
         gap(&rows[1]),
         gap(&rows[2])
     );
-    let fork_spread = rows
-        .iter()
-        .map(|r| r.fork_hccs_s)
-        .fold(f64::MIN, f64::max)
+    let fork_spread = rows.iter().map(|r| r.fork_hccs_s).fold(f64::MIN, f64::max)
         / rows.iter().map(|r| r.fork_hccs_s).fold(f64::MAX, f64::min);
     println!(
         "NPU-fork (HCCS) spread across models: {fork_spread:.2}x (paper: roughly constant, \

@@ -84,5 +84,8 @@ fn main() {
     // Free: the request releases its references.
     rtc.free(&blocks);
     rtc.free(&[extra]);
-    println!("Free                  -> {} HBM blocks free", rtc.npu_free_blocks());
+    println!(
+        "Free                  -> {} HBM blocks free",
+        rtc.npu_free_blocks()
+    );
 }

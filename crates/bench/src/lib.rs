@@ -30,6 +30,25 @@ pub fn header(title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// Parses a `--trace [path]` CLI flag. Bare `--trace` defaults to
+/// `target/figures/<id>.trace.json`; `None` means tracing was not
+/// requested.
+pub fn trace_out(id: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--trace")?;
+    Some(match args.get(pos + 1) {
+        Some(p) if !p.starts_with('-') => PathBuf::from(p),
+        _ => figures_dir().join(format!("{id}.trace.json")),
+    })
+}
+
+/// Writes an already-rendered trace JSON value compactly (traces are large;
+/// pretty-printing them doubles the file for no benefit).
+pub fn write_trace(path: &std::path::Path, value: &serde::value::Value) {
+    fs::write(path, value.to_json()).expect("write trace JSON");
+    println!("[trace written to {}]", path.display());
+}
+
 /// Builds the paper's standard 34B TP=4 cost model on a Gen2 chip.
 pub fn cost_34b_tp4() -> llm_model::ExecCostModel {
     let c = npu::specs::ClusterSpec::gen2_cluster(1);

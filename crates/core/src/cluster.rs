@@ -14,12 +14,14 @@ use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 use crate::predictor::{DecodePredictor, FixedAccuracy, Oracle};
 use crate::prompt_tree::TeId;
 use flowserve::{
-    Engine, EngineConfig, EngineEvent, EngineMode, NewRequest, PopulateTicket, RequestId,
+    BufferInfo, DistFlow, Engine, EngineConfig, EngineEvent, EngineMode, MemTier, NewRequest,
+    PopulateTicket, RequestId,
 };
 use llm_model::{ExecCostModel, ModelSpec, Parallelism};
 use npu::fabric::{Fabric, TransferId};
 use npu::specs::{ClusterSpec, NpuId};
-use simcore::{Clock, Counters, FifoChannel, LatencyStats, SimDuration, SimTime};
+use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
+use simcore::{Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Role of one TE in the serving pool.
@@ -98,6 +100,8 @@ struct Migration {
     to: TeId,
     kv_tokens: usize,
     first_token_at: SimTime,
+    /// Trace span covering the transfer (NONE when tracing is off).
+    span: SpanId,
 }
 
 /// Per-run results.
@@ -111,6 +115,13 @@ pub struct RunReport {
     pub counters: Counters,
     /// Per-TE busy time.
     pub te_busy: Vec<(TeId, SimDuration)>,
+    /// Merged sim-time trace (empty unless [`ClusterSim::enable_tracing`]
+    /// was called). Components: `cluster`, `je`, `distflow`, `te<N>`, `rtc`.
+    pub trace: Trace,
+    /// Named metrics: counters from every component plus `cluster.ttft_ms`
+    /// / `cluster.tpot_ms` / `cluster.jct_ms` samples and the
+    /// `cluster.queue_depth` series.
+    pub metrics: MetricsRegistry,
 }
 
 impl RunReport {
@@ -141,6 +152,10 @@ pub struct ClusterSim {
     last_completion: SimTime,
     completed: u64,
     submitted: u64,
+    /// KV-transfer planning layer; linked over the TE head NPUs.
+    distflow: DistFlow,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl ClusterSim {
@@ -235,6 +250,13 @@ impl ClusterSim {
             cfg.engine.block_size,
         );
         let fabric = Fabric::new(cfg.cluster.clone());
+        // DistFlow control plane: link every TE's head NPU with every other
+        // (the paper's LinkCluster over the serving pool).
+        let mut distflow = DistFlow::new(
+            cfg.cluster.server.chip.generation == npu::specs::Generation::Gen3SuperPod,
+        );
+        let heads: Vec<NpuId> = tes.iter().map(|t| t.npus[0]).collect();
+        distflow.link_cluster(&heads);
         ClusterSim {
             cfg,
             clock: Clock::new(),
@@ -253,6 +275,22 @@ impl ClusterSim {
             last_completion: SimTime::ZERO,
             completed: 0,
             submitted: 0,
+            distflow,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Turns on sim-time tracing across the whole cluster: the sim itself,
+    /// the JE's scheduling decisions, DistFlow transfer plans, and every
+    /// TE's engine + RTC. `capacity` bounds each component's span and event
+    /// ring buffers.
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::enabled(level, capacity);
+        self.je.enable_tracing(level, capacity);
+        self.distflow.enable_tracing(level, capacity);
+        for te in &mut self.tes {
+            te.engine.enable_tracing(level, capacity);
         }
     }
 
@@ -300,6 +338,33 @@ impl ClusterSim {
         let makespan = self.last_completion.since(start.min(self.last_completion));
         let mut latency = LatencyStats::new();
         std::mem::swap(&mut latency, &mut self.latency);
+
+        // Merge every component's trace into one timeline.
+        let mut trace = Trace::default();
+        trace.absorb("cluster", self.tracer.take());
+        trace.absorb("je", self.je.take_trace());
+        trace.absorb("distflow", self.distflow.take_trace());
+        for i in 0..self.tes.len() {
+            let component = format!("te{i}");
+            let t = self.tes[i].engine.take_trace();
+            trace.absorb(&component, t);
+        }
+
+        // Fold all counters into the registry (values accumulate across
+        // report() calls on the same sim, matching Counters semantics).
+        let mut metrics = std::mem::take(&mut self.metrics);
+        metrics.import_counters(&self.counters);
+        metrics.import_counters(self.je.counters());
+        metrics.import_counters(self.distflow.counters());
+        for te in &self.tes {
+            metrics.import_counters(te.engine.counters());
+            metrics.import_counters(te.engine.rtc().counters());
+        }
+        let busy_id = metrics.samples("cluster.te_busy_s");
+        for te in &self.tes {
+            metrics.record(busy_id, te.engine.stats().busy.as_secs_f64());
+        }
+
         RunReport {
             latency,
             makespan,
@@ -309,6 +374,8 @@ impl ClusterSim {
                 .iter()
                 .map(|t| (t.id, t.engine.stats().busy))
                 .collect(),
+            trace,
+            metrics,
         }
     }
 
@@ -334,9 +401,12 @@ impl ClusterSim {
             if t.role == TeRole::Colocated {
                 pool.colocated.push(t.id);
             }
-            pool.loads.insert(t.id, TeSnapshot {
-                load: t.engine.load(),
-            });
+            pool.loads.insert(
+                t.id,
+                TeSnapshot {
+                    load: t.engine.load(),
+                },
+            );
         }
         pool.pairs = self.pairs.clone();
         pool
@@ -346,6 +416,20 @@ impl ClusterSim {
         let req = self.arrivals[idx as usize].clone();
         self.first_arrival = Some(self.first_arrival.unwrap_or(now).min(now));
         let pool = self.sched_pool();
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "arrival",
+                vec![
+                    ("req", req.id.0.into()),
+                    ("prompt_tokens", req.prompt.len().into()),
+                    ("target_output", req.target_output.into()),
+                ],
+            );
+            let depth: usize = self.tes.iter().map(|t| t.engine.queue_len()).sum();
+            let qid = self.metrics.series("cluster.queue_depth");
+            self.metrics.record_at(qid, now, depth as f64);
+        }
         let decision: Decision = self.je.schedule(now, &req, &pool);
         self.submitted += 1;
         let new = NewRequest {
@@ -445,6 +529,12 @@ impl ClusterSim {
                 self.start_migration(now, te_id, id, kv_tokens, at);
             }
             EngineEvent::Finished { latency, .. } => {
+                let ttft_id = self.metrics.samples("cluster.ttft_ms");
+                self.metrics.record(ttft_id, latency.ttft.as_millis_f64());
+                let tpot_id = self.metrics.samples("cluster.tpot_ms");
+                self.metrics.record(tpot_id, latency.tpot.as_millis_f64());
+                let jct_id = self.metrics.samples("cluster.jct_ms");
+                self.metrics.record(jct_id, latency.jct.as_millis_f64());
                 self.latency.record(latency);
                 self.completed += 1;
                 self.last_completion = now;
@@ -473,21 +563,66 @@ impl ClusterSim {
     ) {
         let Some(to) = self.decode_route.remove(&id) else {
             // No route (e.g. context-cache-create): release immediately.
-            self.te_mut(from).engine.release_migrated(id);
+            self.te_mut(from).engine.release_migrated(now, id);
             return;
         };
-        let new = self
-            .pending_migration
-            .remove(&id)
-            .expect("disaggregated request has stashed metadata");
+        let Some(new) = self.pending_migration.remove(&id) else {
+            // Metadata lost (bookkeeping bug): loud in debug builds; in
+            // release, free the prefill TE's copy instead of wedging it.
+            debug_assert!(false, "disaggregated request {id:?} lacks stashed metadata");
+            self.te_mut(from).engine.release_migrated(now, id);
+            return;
+        };
         // By-layer streaming overlaps most of the transfer with prefill;
         // only the residual tail is exposed (§4.5: "by-req or by-layer").
         let total_bytes = kv_tokens as u64 * self.cfg.model.kv_bytes_per_token();
-        let exposed =
-            (total_bytes as f64 * (1.0 - self.cfg.kv_transfer_overlap)).max(1.0) as u64;
+        let exposed = (total_bytes as f64 * (1.0 - self.cfg.kv_transfer_overlap)).max(1.0) as u64;
         let src = self.tes[from.0 as usize].npus[0];
         let dst = self.tes[to.0 as usize].npus[0];
+        // Plan the move through DistFlow (backend selection + occupancy
+        // accounting); the fabric then spends the simulated time.
+        let link_kind = self.fabric.link_kind(src, dst);
+        // TE head NPUs are linked by `DistFlow::link_cluster` at
+        // construction, so planning can only fail if that wiring changes.
+        let plan = match self.distflow.transfer_at(
+            now,
+            BufferInfo {
+                npu: src,
+                tier: MemTier::Hbm,
+                bytes: total_bytes,
+            },
+            BufferInfo {
+                npu: dst,
+                tier: MemTier::Hbm,
+                bytes: total_bytes,
+            },
+            link_kind,
+        ) {
+            Ok(plan) => plan,
+            Err(e) => {
+                debug_assert!(false, "unlinked TE pair {src:?} -> {dst:?}: {e:?}");
+                self.te_mut(from).engine.release_migrated(now, id);
+                return;
+            }
+        };
         let tid = self.fabric.start_transfer(now, src, dst, exposed);
+        let span = if self.tracer.is_enabled() {
+            self.tracer.start_span(
+                now,
+                "kv_migration",
+                vec![
+                    ("req", id.0.into()),
+                    ("from_te", from.0.into()),
+                    ("to_te", to.0.into()),
+                    ("kv_tokens", kv_tokens.into()),
+                    ("total_bytes", total_bytes.into()),
+                    ("exposed_bytes", exposed.into()),
+                    ("crosses_fabric", plan.crosses_fabric.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         self.in_flight_migrations.insert(
             tid,
             Migration {
@@ -496,6 +631,7 @@ impl ClusterSim {
                 to,
                 kv_tokens,
                 first_token_at,
+                span,
             },
         );
         self.counters.incr("sim.kv_migrations");
@@ -523,7 +659,8 @@ impl ClusterSim {
             let Some(m) = self.in_flight_migrations.remove(&tid) else {
                 continue;
             };
-            self.te_mut(m.from).engine.release_migrated(m.new.id);
+            self.tracer.end_span(now, m.span);
+            self.te_mut(m.from).engine.release_migrated(now, m.new.id);
             let to = m.to;
             {
                 let te = self.te_mut(to);

@@ -122,7 +122,10 @@ impl Heatmap {
 
     /// Renders the map as an ASCII table (for figure output).
     pub fn render(&self) -> String {
-        let mut s = format!("heatmap [{}]: rows=prefill, cols=decode/prefill\n", self.label);
+        let mut s = format!(
+            "heatmap [{}]: rows=prefill, cols=decode/prefill\n",
+            self.label
+        );
         s.push_str("            ");
         for e in RATIO_EDGES {
             s.push_str(&format!("{e:>8.3}"));
@@ -164,18 +167,8 @@ mod tests {
         // Advantage grows with prefill length at fixed ratio.
         assert!(m.lookup(16384, 1024) > m.lookup(1024, 64));
         // Observation 2: wins are larger than losses in magnitude.
-        let max_win = m
-            .cells
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(f64::MIN, f64::max);
-        let max_loss = m
-            .cells
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(f64::MAX, f64::min);
+        let max_win = m.cells.iter().flatten().cloned().fold(f64::MIN, f64::max);
+        let max_loss = m.cells.iter().flatten().cloned().fold(f64::MAX, f64::min);
         assert!(max_win > max_loss.abs());
     }
 

@@ -20,6 +20,7 @@ use crate::api::ApiRequest;
 use crate::heatmap::Heatmap;
 use crate::predictor::DecodePredictor;
 use crate::prompt_tree::{GlobalPromptTree, TeId};
+use simcore::trace::{Trace, TraceLevel, Tracer};
 use simcore::{Counters, SimTime};
 use std::collections::HashMap;
 
@@ -129,6 +130,7 @@ pub struct JobExecutor {
     pub overload_factor: f64,
     rr_cursor: usize,
     counters: Counters,
+    tracer: Tracer,
 }
 
 impl JobExecutor {
@@ -149,7 +151,18 @@ impl JobExecutor {
             overload_factor: 2.0,
             rr_cursor: 0,
             counters: Counters::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Turns on sim-time tracing of scheduling decisions.
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::enabled(level, capacity);
+    }
+
+    /// Drains everything traced so far.
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take()
     }
 
     /// Active policy.
@@ -168,7 +181,13 @@ impl JobExecutor {
     }
 
     /// TE -> JE tree sync: a TE reports it now caches `tokens`' prefix.
-    pub fn note_cached(&mut self, now: SimTime, te: TeId, is_prefill_te: bool, tokens: &[flowserve::TokenId]) {
+    pub fn note_cached(
+        &mut self,
+        now: SimTime,
+        te: TeId,
+        is_prefill_te: bool,
+        tokens: &[flowserve::TokenId],
+    ) {
         if is_prefill_te {
             self.tree_prefill.insert(now, te, tokens);
         } else {
@@ -192,15 +211,41 @@ impl JobExecutor {
             !pool.colocated.is_empty() || !pool.pairs.is_empty(),
             "dist_sched: empty TE pool"
         );
-        let _ = now;
         let predicted = self.predictor.predict(req);
-        match self.policy {
+        let decision = match self.policy {
             Policy::RoundRobin => self.round_robin(req, pool, predicted),
             Policy::LoadAware => self.load_only(req, pool, predicted),
             Policy::LocalityAware => self.locality_only(req, pool, predicted),
             Policy::PdAware => self.pd_then_load(req, pool, predicted),
             Policy::Combined => self.combined(req, pool, predicted),
+        };
+        if self.tracer.is_enabled() {
+            let policy = match self.policy {
+                Policy::RoundRobin => "round_robin",
+                Policy::LoadAware => "load_aware",
+                Policy::LocalityAware => "locality_aware",
+                Policy::PdAware => "pd_aware",
+                Policy::Combined => "combined",
+            };
+            let (kind, te) = match decision.target {
+                Target::Colocated(te) => ("colocated", te),
+                Target::Disaggregated { prefill, .. } => ("disaggregated", prefill),
+            };
+            self.tracer.event(
+                now,
+                "je.schedule",
+                vec![
+                    ("req", req.id.0.into()),
+                    ("policy", policy.into()),
+                    ("predicted_decode", decision.predicted_decode.into()),
+                    ("heat", decision.heat.into()),
+                    ("matched_tokens", decision.matched_tokens.into()),
+                    ("target_kind", kind.into()),
+                    ("target_te", te.0.into()),
+                ],
+            );
         }
+        decision
     }
 
     // ---- policies ----
@@ -305,7 +350,11 @@ impl JobExecutor {
                 decode: d,
             })
             .collect();
-        let coloc: Vec<Target> = pool.colocated.iter().map(|&t| Target::Colocated(t)).collect();
+        let coloc: Vec<Target> = pool
+            .colocated
+            .iter()
+            .map(|&t| Target::Colocated(t))
+            .collect();
         // Overload spill-over: override a static preference whose best
         // target is drowning while the other type has headroom.
         if !disagg.is_empty() && !coloc.is_empty() {
@@ -397,7 +446,11 @@ impl JobExecutor {
     }
 
     fn least_loaded_any(&self, pool: &SchedPool) -> Target {
-        let mut all: Vec<Target> = pool.colocated.iter().map(|&t| Target::Colocated(t)).collect();
+        let mut all: Vec<Target> = pool
+            .colocated
+            .iter()
+            .map(|&t| Target::Colocated(t))
+            .collect();
         all.extend(pool.pairs.iter().map(|&(p, d)| Target::Disaggregated {
             prefill: p,
             decode: d,
@@ -472,12 +525,7 @@ mod tests {
     }
 
     fn je(policy: Policy) -> JobExecutor {
-        JobExecutor::new(
-            policy,
-            Heatmap::default_production(),
-            Box::new(Oracle),
-            16,
-        )
+        JobExecutor::new(policy, Heatmap::default_production(), Box::new(Oracle), 16)
     }
 
     #[test]

@@ -35,10 +35,8 @@ pub use cluster::{ClusterConfig, ClusterSim, RunReport, TeRole};
 pub use heatmap::Heatmap;
 pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 pub use manager::{
-    Autoscaler, AutoscalerConfig, AutoscaleSignal, PodPool, PreloadManager, ScaleAction, TePool,
+    AutoscaleSignal, Autoscaler, AutoscalerConfig, PodPool, PreloadManager, ScaleAction, TePool,
 };
 pub use predictor::{Constant, DecodePredictor, FixedAccuracy, Oracle};
 pub use prompt_tree::{GlobalPromptTree, TeId};
-pub use scaling::{
-    LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad,
-};
+pub use scaling::{LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad};

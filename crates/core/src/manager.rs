@@ -139,11 +139,7 @@ impl PreloadManager {
 
     /// Pre-loads checkpoints into `cache` in popularity order until the
     /// cache cannot hold the next one. Returns the names made hot.
-    pub fn preload_into(
-        &self,
-        cache: &mut PageCache,
-        catalog: &[Checkpoint],
-    ) -> Vec<&'static str> {
+    pub fn preload_into(&self, cache: &mut PageCache, catalog: &[Checkpoint]) -> Vec<&'static str> {
         let mut hot = Vec::new();
         for name in self.ranking() {
             let Some(ckpt) = catalog.iter().find(|c| c.model.name == name) else {
@@ -273,10 +269,7 @@ impl Autoscaler {
             && s.active_tes > self.cfg.min_tes
             && s.slo_violation_rate < self.cfg.max_slo_violation_rate / 2.0;
         if want_down {
-            let n = self
-                .cfg
-                .step
-                .min(s.active_tes - self.cfg.min_tes);
+            let n = self.cfg.step.min(s.active_tes - self.cfg.min_tes);
             if n > 0 {
                 self.last_action = Some(now);
                 return Some(ScaleAction::Down(n));
@@ -377,7 +370,10 @@ mod tests {
             scaling_tes: 0,
             slo_violation_rate: 0.5,
         };
-        assert!(matches!(a.decide(SimTime::ZERO, s), Some(ScaleAction::Up(_))));
+        assert!(matches!(
+            a.decide(SimTime::ZERO, s),
+            Some(ScaleAction::Up(_))
+        ));
     }
 
     #[test]
@@ -427,6 +423,9 @@ mod tests {
             scaling_tes: 0,
             slo_violation_rate: 0.0,
         };
-        assert!(matches!(a.decide(SimTime::ZERO, s), Some(ScaleAction::Up(_))));
+        assert!(matches!(
+            a.decide(SimTime::ZERO, s),
+            Some(ScaleAction::Up(_))
+        ));
     }
 }

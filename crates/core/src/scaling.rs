@@ -16,7 +16,8 @@ use npu::hccl;
 use npu::pagecache::PageCache;
 use npu::specs::{ClusterSpec, LinkSpec};
 use serde::Serialize;
-use simcore::SimDuration;
+use simcore::trace::{SpanId, Tracer};
+use simcore::{SimDuration, SimTime};
 
 /// Which optimizations are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -131,6 +132,41 @@ impl ScalingBreakdown {
     /// which lands on the request, not the pipeline).
     pub fn total(&self) -> SimDuration {
         self.scaler_pre + self.te_pre_load + self.te_load + self.te_post_load + self.scaler_post
+    }
+
+    /// Records this scale-up as a `scale_up` span starting at `start` with
+    /// the five Table 2 steps as contiguous child spans. Returns the parent
+    /// span id ([`SpanId::NONE`] when the tracer is disabled).
+    pub fn emit_trace(&self, tracer: &mut Tracer, start: SimTime) -> SpanId {
+        if !tracer.is_enabled() {
+            return SpanId::NONE;
+        }
+        let parent = tracer.start_span(
+            start,
+            "scale_up",
+            vec![
+                ("total_ns", self.total().as_nanos().into()),
+                (
+                    "first_request_penalty_ns",
+                    self.first_request_penalty.as_nanos().into(),
+                ),
+            ],
+        );
+        let steps: [(&'static str, SimDuration); 5] = [
+            ("scaler_pre", self.scaler_pre),
+            ("te_pre_load", self.te_pre_load),
+            ("te_load", self.te_load),
+            ("te_post_load", self.te_post_load),
+            ("scaler_post", self.scaler_post),
+        ];
+        let mut at = start;
+        for (label, dur) in steps {
+            let child = tracer.start_child(at, label, parent, vec![]);
+            at += dur;
+            tracer.end_span(at, child);
+        }
+        tracer.end_span(at, parent);
+        parent
     }
 }
 
@@ -396,8 +432,16 @@ mod tests {
         assert!(after.te_post_load < before.te_post_load);
         assert!(after.scaler_post < before.scaler_post);
         // Unoptimized total is over a minute; optimized is seconds.
-        assert!(before.total() > SimDuration::from_secs(60), "{:?}", before.total());
-        assert!(after.total() < SimDuration::from_secs(5), "{:?}", after.total());
+        assert!(
+            before.total() > SimDuration::from_secs(60),
+            "{:?}",
+            before.total()
+        );
+        assert!(
+            after.total() < SimDuration::from_secs(5),
+            "{:?}",
+            after.total()
+        );
     }
 
     #[test]
@@ -440,8 +484,18 @@ mod tests {
         let m = ScalingModel::new(ClusterSpec::gen2_cluster(4));
         let ckpt8 = Checkpoint::new(FileId(1), ModelSpec::llama3_8b());
         let ckpt70 = Checkpoint::new(FileId(2), ModelSpec::llama3_70b());
-        let t_8b_tp1 = m.te_load(&ckpt8, Parallelism::tp(1), LoadPath::DramHit, SourceLoad::idle());
-        let t_70b_tp8 = m.te_load(&ckpt70, Parallelism::tp(8), LoadPath::DramHit, SourceLoad::idle());
+        let t_8b_tp1 = m.te_load(
+            &ckpt8,
+            Parallelism::tp(1),
+            LoadPath::DramHit,
+            SourceLoad::idle(),
+        );
+        let t_70b_tp8 = m.te_load(
+            &ckpt70,
+            Parallelism::tp(8),
+            LoadPath::DramHit,
+            SourceLoad::idle(),
+        );
         // 70B@TP8 per-NPU bytes (16.4 GB) ~= 8B@TP1 (16.1 GB), but the
         // TP8 load shares PCIe and must be slower.
         assert!(t_70b_tp8.as_secs_f64() > 1.5 * t_8b_tp1.as_secs_f64());
@@ -451,21 +505,41 @@ mod tests {
     fn hccs_fork_beats_roce_and_local() {
         let (m, ckpt) = model();
         let par = Parallelism::tp(4);
-        let hccs = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, SourceLoad::idle());
-        let roce = m.te_load(&ckpt, par, LoadPath::NpuForkRoce { fanout: 1 }, SourceLoad::idle());
+        let hccs = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::NpuForkHccs { fanout: 1 },
+            SourceLoad::idle(),
+        );
+        let roce = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::NpuForkRoce { fanout: 1 },
+            SourceLoad::idle(),
+        );
         let hit = m.te_load(&ckpt, par, LoadPath::DramHit, SourceLoad::idle());
         assert!(hccs < roce);
         assert!(hccs < hit);
     }
 
     #[test]
-    fn fork_scales_nearly_flat_to_64(){
+    fn fork_scales_nearly_flat_to_64() {
         // Figure 10a: broadcast makes scaling to 64 TEs barely slower than 1.
         let m = ScalingModel::new(ClusterSpec::gen2_cluster(16));
         let ckpt = Checkpoint::new(FileId(1), ModelSpec::llama3_8b());
         let par = Parallelism::tp(1);
-        let t1 = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, SourceLoad::idle());
-        let t64 = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 64 }, SourceLoad::idle());
+        let t1 = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::NpuForkHccs { fanout: 1 },
+            SourceLoad::idle(),
+        );
+        let t64 = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::NpuForkHccs { fanout: 64 },
+            SourceLoad::idle(),
+        );
         assert!(t64 > t1);
         assert!(
             t64.as_secs_f64() < 1.6 * t1.as_secs_f64(),
@@ -478,7 +552,12 @@ mod tests {
         // Figure 10 b/c: dedicated AICPU keeps contention limited.
         let (m, ckpt) = model();
         let par = Parallelism::tp(4);
-        let idle = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 8 }, SourceLoad::idle());
+        let idle = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::NpuForkHccs { fanout: 8 },
+            SourceLoad::idle(),
+        );
         let busy = m.te_load(
             &ckpt,
             par,
@@ -498,6 +577,48 @@ mod tests {
         assert!(penalty > SimDuration::ZERO);
         let (_, none) = m.te_post_load(ScalingOptimizations::all());
         assert_eq!(none, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn emit_trace_records_five_contiguous_steps() {
+        use simcore::trace::TraceLevel;
+        let (m, ckpt) = model();
+        let b = m.breakdown(
+            &ckpt,
+            Parallelism::tp(4),
+            ScalingOptimizations::all(),
+            LoadPath::NpuForkHccs { fanout: 1 },
+            SourceLoad::idle(),
+        );
+        let mut tracer = Tracer::enabled(TraceLevel::Lifecycle, 64);
+        let start = SimTime::from_secs(10);
+        let parent = b.emit_trace(&mut tracer, start);
+        assert!(parent.is_some());
+        let trace = tracer.take();
+        let root = trace.spans_labeled("scale_up").next().expect("parent span");
+        assert_eq!(root.start, start);
+        assert_eq!(root.end, Some(start + b.total()));
+        let children: Vec<_> = trace.spans.iter().filter(|s| s.parent == parent).collect();
+        assert_eq!(children.len(), 5);
+        let expected = [
+            "scaler_pre",
+            "te_pre_load",
+            "te_load",
+            "te_post_load",
+            "scaler_post",
+        ];
+        let mut cursor = start;
+        for (child, label) in children.iter().zip(expected) {
+            assert_eq!(child.label, label);
+            assert_eq!(child.start, cursor, "steps are contiguous");
+            cursor = child.end.expect("closed child span");
+        }
+        assert_eq!(cursor, start + b.total(), "children sum to the total");
+
+        // Disabled tracer: nothing recorded, NONE returned.
+        let mut off = Tracer::disabled();
+        assert_eq!(b.emit_trace(&mut off, start), SpanId::NONE);
+        assert!(off.take().is_empty());
     }
 
     #[test]

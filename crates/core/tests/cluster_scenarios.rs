@@ -7,11 +7,7 @@ use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, RunReport,
 use simcore::SimRng;
 use workloads::{ChatTrace, CodeGenTrace, SharedPrefixChat};
 
-fn run(
-    policy: Policy,
-    roles: &[TeRole],
-    reqs: Vec<deepserve::ApiRequest>,
-) -> RunReport {
+fn run(policy: Policy, roles: &[TeRole], reqs: Vec<deepserve::ApiRequest>) -> RunReport {
     let cfg = ClusterConfig {
         policy,
         ..ClusterConfig::standard_34b()
@@ -41,9 +37,17 @@ fn colocated_pool_serves_chat_trace() {
     let tpot = report.latency.tpot_ms();
     // 2K prefill on a 34B TP4 engine: sub-second to a few seconds TTFT at
     // low load; decode in the tens of ms.
-    assert!(ttft.p50 > 50.0 && ttft.p50 < 5_000.0, "TTFT p50 {}", ttft.p50);
+    assert!(
+        ttft.p50 > 50.0 && ttft.p50 < 5_000.0,
+        "TTFT p50 {}",
+        ttft.p50
+    );
     assert!(tpot.p50 > 5.0 && tpot.p50 < 80.0, "TPOT p50 {}", tpot.p50);
-    assert!(report.throughput() > 10.0, "throughput {}", report.throughput());
+    assert!(
+        report.throughput() > 10.0,
+        "throughput {}",
+        report.throughput()
+    );
 }
 
 #[test]
@@ -65,14 +69,15 @@ fn disagg_lowers_tpot_at_matched_throughput() {
     // yields lower TPOT than colocated serving because decode never
     // contends with prefill.
     let load = || chat(0.8, 150, 3);
-    let mut coloc = run(
-        Policy::Combined,
-        &[TeRole::Colocated; 4],
-        load(),
-    );
+    let mut coloc = run(Policy::Combined, &[TeRole::Colocated; 4], load());
     let mut disagg = run(
         Policy::Combined,
-        &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode, TeRole::Decode],
+        &[
+            TeRole::Prefill,
+            TeRole::Prefill,
+            TeRole::Decode,
+            TeRole::Decode,
+        ],
         load(),
     );
     let c = coloc.latency.tpot_ms();
@@ -153,10 +158,7 @@ fn pd_aware_routes_by_shape() {
 #[test]
 fn code_gen_trace_exercises_prefix_reuse() {
     let mut rng = SimRng::seed_from_u64(12);
-    let reqs = materialize_trace(
-        &CodeGenTrace::paper(1.0).generate(&mut rng, 100),
-        64_000,
-    );
+    let reqs = materialize_trace(&CodeGenTrace::paper(1.0).generate(&mut rng, 100), 64_000);
     let report = run(
         Policy::Combined,
         &[TeRole::Colocated, TeRole::Colocated],

@@ -2,9 +2,9 @@
 //! scheduler, the heatmap, the autoscaler, and the scaling cost model.
 
 use deepserve::{
-    ApiRequest, Autoscaler, AutoscalerConfig, AutoscaleSignal, Heatmap, JobExecutor, LoadPath,
-    Oracle, Policy, ScaleAction, ScalingModel, ScalingOptimizations, SchedPool, SourceLoad,
-    Target, TeId, TeSnapshot,
+    ApiRequest, AutoscaleSignal, Autoscaler, AutoscalerConfig, Heatmap, JobExecutor, LoadPath,
+    Oracle, Policy, ScaleAction, ScalingModel, ScalingOptimizations, SchedPool, SourceLoad, Target,
+    TeId, TeSnapshot,
 };
 use flowserve::synthetic_tokens;
 use llm_model::{Checkpoint, ModelSpec, Parallelism};

@@ -1,0 +1,132 @@
+//! Acceptance test for the observability layer: the per-request lifecycle
+//! events in a traced cluster run must reconstruct the *same* TTFT/TPOT
+//! distribution that the report's `LatencyStats` accumulated on the side.
+//! This is what makes a `--trace` dump trustworthy — the trace is not a
+//! parallel approximation of the run, it IS the run.
+
+use std::collections::BTreeMap;
+
+use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
+use simcore::{Samples, SimDuration, SimRng, SimTime, TraceLevel};
+use workloads::ChatTrace;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Runs a PD-disaggregated cluster (the Figure 4 code path, including KV
+/// migrations over DistFlow) with lifecycle tracing on, then rebuilds every
+/// request's TTFT/TPOT from trace events alone and compares percentiles
+/// against the report.
+#[test]
+fn traced_run_reconstructs_report_latency() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let reqs = materialize_trace(&ChatTrace::paper(6.0).generate(&mut rng, 80), 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let roles = [TeRole::Prefill, TeRole::Prefill, TeRole::Decode];
+    let mut sim = ClusterSim::new(cfg, &roles);
+    sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+    sim.inject(reqs);
+    let mut report = sim.run_to_completion();
+    assert_eq!(
+        report.trace.dropped, 0,
+        "ring buffer must not overflow here"
+    );
+
+    // Index the three lifecycle points by request id. A request arrives
+    // exactly once, emits first_token exactly once (on the prefill TE when
+    // disaggregated), and finishes exactly once (on the decode TE).
+    let mut arrival: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut first_token: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut finished: BTreeMap<u64, (SimTime, u64)> = BTreeMap::new();
+    for e in report.trace.events_labeled("arrival") {
+        let req = e.attr_u64("req").expect("arrival carries req");
+        assert!(arrival.insert(req, e.at).is_none(), "duplicate arrival");
+    }
+    for e in report.trace.events_labeled("request.first_token") {
+        let req = e.attr_u64("req").expect("first_token carries req");
+        assert!(
+            first_token.insert(req, e.at).is_none(),
+            "duplicate first_token"
+        );
+    }
+    for e in report.trace.events_labeled("request.finished") {
+        let req = e.attr_u64("req").expect("finished carries req");
+        let out = e.attr_u64("output_tokens").expect("finished carries count");
+        assert!(
+            finished.insert(req, (e.at, out)).is_none(),
+            "duplicate finished"
+        );
+    }
+    assert_eq!(
+        finished.len() as u64,
+        report.latency.completed(),
+        "one finished event per completed request"
+    );
+
+    // Rebuild the distributions with the engine's own latency arithmetic:
+    // ttft = first_token - arrival, tpot = (finished - first_token) over
+    // (output_tokens - 1) inter-token gaps, integer-nanosecond division.
+    let mut ttft = Samples::default();
+    let mut tpot = Samples::default();
+    for (req, &(end, out)) in &finished {
+        let t0 = arrival[req];
+        let t1 = first_token[req];
+        assert!(t0 <= t1 && t1 <= end, "lifecycle order for req {req}");
+        ttft.record(t1.since(t0).as_millis_f64());
+        let gap = if out > 1 {
+            SimDuration::from_nanos(end.since(t1).as_nanos() / (out - 1))
+        } else {
+            SimDuration::ZERO
+        };
+        tpot.record(gap.as_millis_f64());
+    }
+
+    let (rt, tt) = (ttft.summary(), tpot.summary());
+    let (rr, tr) = (report.latency.ttft_ms(), report.latency.tpot_ms());
+    assert_eq!(rt.count, rr.count);
+    assert!(close(rt.p50, rr.p50), "ttft p50 {} vs {}", rt.p50, rr.p50);
+    assert!(close(rt.p90, rr.p90), "ttft p90 {} vs {}", rt.p90, rr.p90);
+    assert!(close(rt.p99, rr.p99), "ttft p99 {} vs {}", rt.p99, rr.p99);
+    assert!(close(tt.p50, tr.p50), "tpot p50 {} vs {}", tt.p50, tr.p50);
+    assert!(close(tt.p90, tr.p90), "tpot p90 {} vs {}", tt.p90, tr.p90);
+    assert!(close(tt.p99, tr.p99), "tpot p99 {} vs {}", tt.p99, tr.p99);
+
+    // The registry's sample metrics are fed from the same stream.
+    let m = report
+        .metrics
+        .summary("cluster.ttft_ms")
+        .expect("registered");
+    assert_eq!(m.count, rr.count);
+    assert!(close(m.p90, rr.p90));
+}
+
+/// A traced run must be byte-identical in outcome to an untraced one:
+/// tracing is observation, never perturbation.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let run = |traced: bool| {
+        let mut rng = SimRng::seed_from_u64(11);
+        let reqs = materialize_trace(&ChatTrace::paper(4.0).generate(&mut rng, 40), 64_000);
+        let cfg = ClusterConfig {
+            policy: Policy::Combined,
+            ..ClusterConfig::standard_34b()
+        };
+        let mut sim = ClusterSim::new(cfg, &[TeRole::Colocated, TeRole::Colocated]);
+        if traced {
+            sim.enable_tracing(TraceLevel::Full, 1 << 20);
+        }
+        sim.inject(reqs);
+        let mut report = sim.run_to_completion();
+        (
+            report.makespan,
+            report.latency.completed(),
+            report.latency.ttft_ms().p99,
+            report.latency.tpot_ms().p99,
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -94,9 +94,22 @@ impl BlockPool {
                 available: self.free.len(),
             });
         }
-        Ok((0..n)
-            .map(|_| self.alloc().expect("checked availability above"))
-            .collect())
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.alloc() {
+                Ok(b) => out.push(b),
+                Err(e) => {
+                    // Unreachable given the length check above; roll back to
+                    // keep the all-or-nothing contract rather than panic.
+                    debug_assert!(false, "alloc_many: pool shrank mid-allocation");
+                    for b in out {
+                        self.decref(b);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Adds a reference to a live block (prefix sharing).

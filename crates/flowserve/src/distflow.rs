@@ -18,8 +18,9 @@
 use npu::fabric::LinkKind;
 use npu::specs::NpuId;
 use serde::Serialize;
-use simcore::Counters;
-use std::collections::HashSet;
+use simcore::trace::{Trace, TraceLevel, Tracer};
+use simcore::{Counters, SimTime};
+use std::collections::{BTreeMap, HashSet};
 
 /// A memory tier a buffer can live in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -92,7 +93,10 @@ impl std::fmt::Display for DistFlowError {
             DistFlowError::SizeMismatch {
                 src_bytes,
                 dst_bytes,
-            } => write!(f, "buffer size mismatch: src {src_bytes} vs dst {dst_bytes}"),
+            } => write!(
+                f,
+                "buffer size mismatch: src {src_bytes} vs dst {dst_bytes}"
+            ),
         }
     }
 }
@@ -108,6 +112,9 @@ pub struct DistFlow {
     /// Established peer links (unordered pairs), from `LinkCluster`.
     links: HashSet<(NpuId, NpuId)>,
     counters: Counters,
+    tracer: Tracer,
+    /// Cumulative bytes moved per unordered endpoint pair (link occupancy).
+    link_bytes: BTreeMap<(NpuId, NpuId), u64>,
 }
 
 fn pair(a: NpuId, b: NpuId) -> (NpuId, NpuId) {
@@ -126,7 +133,19 @@ impl DistFlow {
             superpod_shared_memory,
             links: HashSet::new(),
             counters: Counters::new(),
+            tracer: Tracer::disabled(),
+            link_bytes: BTreeMap::new(),
         }
+    }
+
+    /// Turns on sim-time tracing of planned transfers.
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::enabled(level, capacity);
+    }
+
+    /// Drains everything traced so far.
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take()
     }
 
     /// Control plane: establishes connections among all pairs of `peers`
@@ -150,6 +169,19 @@ impl DistFlow {
     /// clock owner to execute.
     pub fn transfer(
         &mut self,
+        src: BufferInfo,
+        dst: BufferInfo,
+        link_kind: LinkKind,
+    ) -> Result<TransferPlan, DistFlowError> {
+        self.transfer_at(SimTime::ZERO, src, dst, link_kind)
+    }
+
+    /// [`DistFlow::transfer`] with a sim-time stamp for tracing and link
+    /// occupancy accounting. Planning itself is instantaneous; `now` only
+    /// timestamps the emitted records.
+    pub fn transfer_at(
+        &mut self,
+        now: SimTime,
         src: BufferInfo,
         dst: BufferInfo,
         link_kind: LinkKind,
@@ -179,6 +211,27 @@ impl DistFlow {
         };
         self.counters.incr("distflow.transfers");
         self.counters.add("distflow.bytes", src.bytes);
+        *self.link_bytes.entry(pair(src.npu, dst.npu)).or_insert(0) += src.bytes;
+        if self.tracer.is_enabled() {
+            let backend_name = match backend {
+                Backend::Memcpy => "memcpy",
+                Backend::HcclP2p => "hccl_p2p",
+                Backend::Roce => "roce",
+            };
+            self.tracer.event(
+                now,
+                "distflow.transfer",
+                vec![
+                    ("src_server", src.npu.server.into()),
+                    ("src_chip", src.npu.chip.into()),
+                    ("dst_server", dst.npu.server.into()),
+                    ("dst_chip", dst.npu.chip.into()),
+                    ("bytes", src.bytes.into()),
+                    ("backend", backend_name.into()),
+                    ("crosses_fabric", (src.npu != dst.npu).into()),
+                ],
+            );
+        }
         Ok(TransferPlan {
             src: src.npu,
             dst: dst.npu,
@@ -186,6 +239,17 @@ impl DistFlow {
             backend,
             crosses_fabric: src.npu != dst.npu,
         })
+    }
+
+    /// Cumulative bytes planned over the link between `a` and `b`
+    /// (direction-agnostic), for per-link occupancy reporting.
+    pub fn link_occupancy(&self, a: NpuId, b: NpuId) -> u64 {
+        self.link_bytes.get(&pair(a, b)).copied().unwrap_or(0)
+    }
+
+    /// All links with traffic, as `((a, b), bytes)` in deterministic order.
+    pub fn link_occupancies(&self) -> impl Iterator<Item = (&(NpuId, NpuId), &u64)> {
+        self.link_bytes.iter()
     }
 
     /// Transfer statistics.

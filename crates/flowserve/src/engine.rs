@@ -29,6 +29,7 @@ use crate::config::{EngineConfig, EngineMode};
 use crate::request::{EngineRequest, NewRequest, Phase, RequestId};
 use crate::rtc::{PopulateTicket, Rtc, RtcConfig};
 use llm_model::{BatchWork, ExecCostModel};
+use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{Counters, RequestLatency, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -98,6 +99,8 @@ struct Iteration {
     decode_ids: Vec<RequestId>,
     /// `(request, tokens prefilling this iteration)`.
     prefill_parts: Vec<(RequestId, usize)>,
+    /// Trace span covering this iteration (NONE when tracing is off).
+    span: SpanId,
 }
 
 /// Aggregate engine statistics.
@@ -134,6 +137,9 @@ pub struct Engine {
     current: Option<Iteration>,
     stats: EngineStats,
     counters: Counters,
+    tracer: Tracer,
+    /// Open per-request lifecycle spans (only populated while tracing).
+    req_spans: HashMap<RequestId, SpanId>,
 }
 
 impl Engine {
@@ -160,7 +166,24 @@ impl Engine {
             current: None,
             stats: EngineStats::default(),
             counters: Counters::new(),
+            tracer: Tracer::disabled(),
+            req_spans: HashMap::new(),
         }
+    }
+
+    /// Turns on sim-time tracing for this engine and its RTC. `capacity`
+    /// bounds the span and event ring buffers (each).
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::enabled(level, capacity);
+        self.rtc.enable_tracing(level, capacity);
+    }
+
+    /// Drains everything traced so far, with RTC records absorbed under the
+    /// `rtc` component tag.
+    pub fn take_trace(&mut self) -> Trace {
+        let mut trace = self.tracer.take();
+        trace.absorb("rtc", self.rtc.take_trace());
+        trace
     }
 
     /// Engine configuration.
@@ -222,6 +245,10 @@ impl Engine {
         let blocks_for_prompt = new.prompt.len().div_ceil(self.cfg.block_size);
         if blocks_for_prompt + 1 > self.total_npu_blocks() {
             self.counters.incr("engine.rejected");
+            if self.tracer.is_enabled() {
+                self.tracer
+                    .event(now, "request.rejected", vec![("req", id.0.into())]);
+            }
             return SubmitOutcome {
                 accepted: false,
                 populate: None,
@@ -232,6 +259,37 @@ impl Engine {
         let mut pending = None;
         if self.cfg.prefix_caching {
             pending = self.try_cache_match(now, &mut req);
+        }
+        if self.tracer.is_enabled() {
+            let span = self.tracer.start_span(
+                now,
+                "request",
+                vec![
+                    ("req", id.0.into()),
+                    ("prompt_tokens", req.prompt_len().into()),
+                    ("target_output", req.new.target_output.into()),
+                    ("arrival", req.new.arrival.into()),
+                ],
+            );
+            self.req_spans.insert(id, span);
+            self.tracer.event_in(
+                now,
+                "request.queued",
+                span,
+                vec![
+                    ("req", id.0.into()),
+                    ("arrival", req.new.arrival.into()),
+                    ("cached_tokens", req.cached_tokens.into()),
+                ],
+            );
+            if let Some(p) = &pending {
+                self.tracer.event_in(
+                    now,
+                    "request.populate_start",
+                    span,
+                    vec![("req", id.0.into()), ("tokens", p.tokens.into())],
+                );
+            }
         }
         let phase = req.phase;
         self.requests.insert(id, req);
@@ -343,6 +401,15 @@ impl Engine {
                 .add("engine.cache_hit_tokens", req.cached_tokens as u64);
         }
         req.phase = Phase::Queued;
+        if self.tracer.is_enabled() {
+            let span = self.req_spans.get(&id).copied().unwrap_or(SpanId::NONE);
+            self.tracer.event_in(
+                now,
+                "request.populate_done",
+                span,
+                vec![("req", id.0.into())],
+            );
+        }
         self.waiting.push_back(id);
     }
 
@@ -362,17 +429,43 @@ impl Engine {
         req.generated = 1;
         req.first_token_at = Some(first_token_at);
         req.phase = Phase::Decoding;
+        let prompt_tokens = req.prompt_len();
+        let target_output = req.new.target_output;
+        let arrival = req.new.arrival;
         self.requests.insert(id, req);
         if !self.try_allocate_context(id, context_tokens) {
             // No room yet: park until blocks free up.
-            let req = self.requests.get_mut(&id).expect("just inserted");
-            req.phase = Phase::Queued;
+            if let Some(req) = self.req_mut(id) {
+                req.phase = Phase::Queued;
+            }
             self.waiting_kv.push_back((id, context_tokens));
             self.counters.incr("engine.kv_admission_stalls");
         } else {
             self.running_decode.push(id);
         }
-        let _ = now;
+        if self.tracer.is_enabled() {
+            let span = self.tracer.start_span(
+                now,
+                "request",
+                vec![
+                    ("req", id.0.into()),
+                    ("prompt_tokens", prompt_tokens.into()),
+                    ("target_output", target_output.into()),
+                    ("arrival", arrival.into()),
+                ],
+            );
+            self.req_spans.insert(id, span);
+            self.tracer.event_in(
+                now,
+                "request.migrated_in",
+                span,
+                vec![
+                    ("req", id.0.into()),
+                    ("context_tokens", context_tokens.into()),
+                    ("first_token_at", first_token_at.into()),
+                ],
+            );
+        }
         self.counters.incr("engine.migrated_in");
         SubmitOutcome {
             accepted: true,
@@ -380,14 +473,30 @@ impl Engine {
         }
     }
 
+    /// Invariant-checked lookup for ids held in the engine's own queues
+    /// (`waiting`, `waiting_kv`, `running_prefill`, `running_decode`): those
+    /// ids always resolve in `requests`. A miss means the queue and map
+    /// bookkeeping diverged — loud in debug builds; in release the caller
+    /// drops the stale id instead of taking the whole engine down.
+    fn req_mut(&mut self, id: RequestId) -> Option<&mut EngineRequest> {
+        let req = self.requests.get_mut(&id);
+        debug_assert!(req.is_some(), "engine invariant: untracked request {id:?}");
+        req
+    }
+
     fn try_allocate_context(&mut self, id: RequestId, context_tokens: usize) -> bool {
         let n_blocks = context_tokens.div_ceil(self.cfg.block_size);
         match self.rtc.alloc_blocks(n_blocks) {
-            Ok(blocks) => {
-                let req = self.requests.get_mut(&id).expect("request exists");
-                req.table.extend(blocks, context_tokens);
-                true
-            }
+            Ok(blocks) => match self.req_mut(id) {
+                Some(req) => {
+                    req.table.extend(blocks, context_tokens);
+                    true
+                }
+                None => {
+                    self.rtc.free(&blocks);
+                    false
+                }
+            },
             Err(_) => false,
         }
     }
@@ -418,11 +527,11 @@ impl Engine {
     /// it has ended, then starts the next one. Returns emitted events.
     pub fn advance(&mut self, now: SimTime) -> Vec<EngineEvent> {
         let mut events = Vec::new();
-        if let Some(it) = &self.current {
+        if let Some(it) = self.current.take() {
             if now < it.ends_at {
+                self.current = Some(it);
                 return events; // woken early; nothing to do yet
             }
-            let it = self.current.take().expect("checked above");
             self.complete_iteration(it.ends_at, &it, &mut events);
         }
         // Retry KV admissions that were waiting for space.
@@ -444,9 +553,10 @@ impl Engine {
         let mut remaining = VecDeque::new();
         while let Some((id, ctx)) = self.waiting_kv.pop_front() {
             if self.try_allocate_context(id, ctx) {
-                let req = self.requests.get_mut(&id).expect("parked request");
-                req.phase = Phase::Decoding;
-                self.running_decode.push(id);
+                if let Some(req) = self.req_mut(id) {
+                    req.phase = Phase::Decoding;
+                    self.running_decode.push(id);
+                }
             } else {
                 remaining.push_back((id, ctx));
                 break; // preserve order; no point trying the rest
@@ -473,14 +583,29 @@ impl Engine {
         };
         self.stats.iterations += 1;
         self.stats.busy += wall;
+        let span = if self.tracer.is_enabled() {
+            self.tracer.start_span(
+                now,
+                "iteration",
+                vec![
+                    ("decode_batch", decode_ids.len().into()),
+                    ("prefill_tokens", work.prefill_tokens.into()),
+                    ("seqs", seqs.into()),
+                    ("wall_ns", wall.as_nanos().into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         self.current = Some(Iteration {
             ends_at: now + wall,
             decode_ids,
             prefill_parts,
+            span,
         });
     }
 
-    fn form_batch(&mut self, _now: SimTime) -> (BatchWork, Vec<RequestId>, Vec<(RequestId, usize)>) {
+    fn form_batch(&mut self, now: SimTime) -> (BatchWork, Vec<RequestId>, Vec<(RequestId, usize)>) {
         let mut work = BatchWork::default();
         let mut decode_ids = Vec::new();
         let mut prefill_parts = Vec::new();
@@ -497,11 +622,12 @@ impl Engine {
                 if self.requests.get(&id).map(|r| r.phase) != Some(Phase::Decoding) {
                     continue;
                 }
-                if self.reserve_decode_slot(id) {
-                    let req = &self.requests[&id];
-                    work.decode_seqs += 1;
-                    work.decode_context_total += req.table.tokens() as u64;
-                    decode_ids.push(id);
+                if self.reserve_decode_slot(now, id) {
+                    if let Some(req) = self.requests.get(&id) {
+                        work.decode_seqs += 1;
+                        work.decode_context_total += req.table.tokens() as u64;
+                        decode_ids.push(id);
+                    }
                 }
             }
         }
@@ -528,9 +654,13 @@ impl Engine {
             while budget > 0 && i < candidates.len() {
                 let id = candidates[i];
                 i += 1;
-                let (remaining, context) = {
-                    let req = &self.requests[&id];
-                    (req.prefill_remaining(), req.prefilled_tokens)
+                let Some((remaining, context)) = self
+                    .requests
+                    .get(&id)
+                    .map(|r| (r.prefill_remaining(), r.prefilled_tokens))
+                else {
+                    debug_assert!(false, "engine invariant: untracked request {id:?}");
+                    continue;
                 };
                 let chunk = remaining.min(budget);
                 if chunk == 0 {
@@ -542,10 +672,9 @@ impl Engine {
                 if self.waiting.front() == Some(&id) {
                     self.waiting.pop_front();
                     self.running_prefill.push(id);
-                    self.requests
-                        .get_mut(&id)
-                        .expect("queued request exists")
-                        .phase = Phase::Prefilling;
+                    if let Some(req) = self.req_mut(id) {
+                        req.phase = Phase::Prefilling;
+                    }
                     admitted_from_waiting = true;
                 }
                 budget -= chunk;
@@ -569,23 +698,29 @@ impl Engine {
     /// Ensures the decode sequence has a KV slot for this iteration's
     /// token, preempting younger sequences under pressure (recompute-style
     /// preemption: the victim restarts its prefill later).
-    fn reserve_decode_slot(&mut self, id: RequestId) -> bool {
+    fn reserve_decode_slot(&mut self, now: SimTime, id: RequestId) -> bool {
         loop {
-            {
-                let req = self.requests.get_mut(&id).expect("decode request exists");
-                if req.table.slack() >= 1 {
+            match self.req_mut(id) {
+                Some(req) if req.table.slack() >= 1 => {
                     req.table.extend(vec![], 1);
                     return true;
                 }
+                Some(_) => {}
+                None => return false,
             }
             match self.rtc.append_block() {
-                Ok(b) => {
-                    let req = self.requests.get_mut(&id).expect("decode request exists");
-                    req.table.extend(vec![b], 1);
-                    return true;
-                }
+                Ok(b) => match self.req_mut(id) {
+                    Some(req) => {
+                        req.table.extend(vec![b], 1);
+                        return true;
+                    }
+                    None => {
+                        self.rtc.free(&[b]);
+                        return false;
+                    }
+                },
                 Err(_) => {
-                    if !self.preempt_youngest_except(id) {
+                    if !self.preempt_youngest_except(now, id) {
                         return false; // nothing left to preempt
                     }
                 }
@@ -596,28 +731,36 @@ impl Engine {
     fn reserve_prefill_blocks(&mut self, id: RequestId, chunk: usize) -> bool {
         // Seed the table with the acquired cache prefix on first contact.
         {
-            let req = self.requests.get_mut(&id).expect("prefill request exists");
+            let Some(req) = self.req_mut(id) else {
+                return false;
+            };
             if req.table.tokens() == 0 && req.cached_tokens > 0 {
-                let acq_blocks: Vec<BlockId> = req
-                    .acquired
-                    .as_ref()
-                    .expect("cached_tokens implies acquisition")
-                    .blocks
-                    .clone();
-                let cached = req.cached_tokens;
-                req.table.extend(acq_blocks, cached);
+                debug_assert!(req.acquired.is_some(), "cached_tokens implies acquisition");
+                if let Some(acq) = req.acquired.as_ref() {
+                    let acq_blocks: Vec<BlockId> = acq.blocks.clone();
+                    let cached = req.cached_tokens;
+                    req.table.extend(acq_blocks, cached);
+                } else {
+                    // Inconsistent hit state: forget the hit and prefill
+                    // from scratch rather than fabricating KV blocks.
+                    req.cached_tokens = 0;
+                }
             }
         }
-        let need = {
-            let req = &self.requests[&id];
-            req.table.blocks_needed(chunk)
+        let Some(need) = self.requests.get(&id).map(|r| r.table.blocks_needed(chunk)) else {
+            return false;
         };
         match self.rtc.alloc_blocks(need) {
-            Ok(blocks) => {
-                let req = self.requests.get_mut(&id).expect("prefill request exists");
-                req.table.extend(blocks, chunk);
-                true
-            }
+            Ok(blocks) => match self.req_mut(id) {
+                Some(req) => {
+                    req.table.extend(blocks, chunk);
+                    true
+                }
+                None => {
+                    self.rtc.free(&blocks);
+                    false
+                }
+            },
             Err(_) => false,
         }
     }
@@ -625,7 +768,7 @@ impl Engine {
     /// Preempts the most recently admitted decode sequence other than
     /// `keep`, freeing its blocks for reuse. Returns false if there was no
     /// victim.
-    fn preempt_youngest_except(&mut self, keep: RequestId) -> bool {
+    fn preempt_youngest_except(&mut self, now: SimTime, keep: RequestId) -> bool {
         let victim = self
             .running_decode
             .iter()
@@ -633,8 +776,19 @@ impl Engine {
             .copied()
             .find(|&v| v != keep);
         let Some(victim) = victim else { return false };
+        if self.tracer.is_enabled() {
+            let span = self.req_spans.get(&victim).copied().unwrap_or(SpanId::NONE);
+            self.tracer.event_in(
+                now,
+                "request.preempted",
+                span,
+                vec![("req", victim.0.into())],
+            );
+        }
         self.running_decode.retain(|&r| r != victim);
-        let req = self.requests.get_mut(&victim).expect("victim exists");
+        let Some(req) = self.req_mut(victim) else {
+            return false;
+        };
         let blocks = req.table.take_blocks();
         // Recompute-style preemption: KV is dropped; the prompt *and* the
         // tokens generated so far must be re-prefilled before decode can
@@ -658,6 +812,7 @@ impl Engine {
     // ---- Iteration completion ----
 
     fn complete_iteration(&mut self, at: SimTime, it: &Iteration, events: &mut Vec<EngineEvent>) {
+        let full_trace = self.tracer.is_full();
         // Prefill progress.
         for &(id, chunk) in &it.prefill_parts {
             // The request may have been preempted out mid-flight; skip then.
@@ -668,7 +823,17 @@ impl Engine {
                 continue;
             }
             req.prefilled_tokens += chunk;
-            if req.prefill_remaining() == 0 {
+            let done = req.prefill_remaining() == 0;
+            if full_trace {
+                let span = self.req_spans.get(&id).copied().unwrap_or(SpanId::NONE);
+                self.tracer.event_in(
+                    at,
+                    "prefill_chunk",
+                    span,
+                    vec![("req", id.0.into()), ("tokens", chunk.into())],
+                );
+            }
+            if done {
                 self.finish_prefill(at, id, events);
             }
         }
@@ -682,17 +847,29 @@ impl Engine {
             }
             req.generated += 1;
             self.stats.output_tokens += 1;
-            if req.decode_done() {
+            let done = req.decode_done();
+            if done {
                 req.finished_at = Some(at);
+            }
+            if full_trace {
+                let span = self.req_spans.get(&id).copied().unwrap_or(SpanId::NONE);
+                self.tracer
+                    .event_in(at, "decode_iter", span, vec![("req", id.0.into())]);
+            }
+            if done {
                 self.finish_request(at, id, events);
             }
         }
+        self.tracer.end_span(at, it.span);
     }
 
     fn finish_prefill(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
         self.running_prefill.retain(|&r| r != id);
         let (prompt, cache_id, blocks, should_cache, is_first_completion) = {
-            let req = self.requests.get_mut(&id).expect("prefilling request");
+            let Some(req) = self.requests.get_mut(&id) else {
+                debug_assert!(false, "engine invariant: untracked request {id:?}");
+                return;
+            };
             let is_first = req.first_token_at.is_none();
             if is_first {
                 req.first_token_at = Some(at);
@@ -720,13 +897,30 @@ impl Engine {
         }
         if is_first_completion {
             events.push(EngineEvent::FirstToken { id, at });
+            if self.tracer.is_enabled() {
+                let span = self.req_spans.get(&id).copied().unwrap_or(SpanId::NONE);
+                self.tracer
+                    .event_in(at, "request.first_token", span, vec![("req", id.0.into())]);
+            }
         }
 
-        let req = self.requests.get_mut(&id).expect("prefilling request");
+        let Some(req) = self.requests.get_mut(&id) else {
+            debug_assert!(false, "engine invariant: untracked request {id:?}");
+            return;
+        };
         match self.cfg.mode {
             EngineMode::PrefillOnly => {
                 req.phase = Phase::AwaitingMigration;
                 let kv_tokens = req.table.tokens();
+                if self.tracer.is_enabled() {
+                    let span = self.req_spans.get(&id).copied().unwrap_or(SpanId::NONE);
+                    self.tracer.event_in(
+                        at,
+                        "request.prefill_complete",
+                        span,
+                        vec![("req", id.0.into()), ("kv_tokens", kv_tokens.into())],
+                    );
+                }
                 events.push(EngineEvent::PrefillComplete { id, at, kv_tokens });
             }
             _ => {
@@ -743,17 +937,44 @@ impl Engine {
 
     fn finish_request(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
         self.running_decode.retain(|&r| r != id);
-        let mut req = self.requests.remove(&id).expect("finishing request");
+        let Some(mut req) = self.requests.remove(&id) else {
+            debug_assert!(false, "engine invariant: untracked request {id:?}");
+            return;
+        };
         req.phase = Phase::Finished;
-        let latency = req
-            .latency()
-            .expect("finished request has first/finish times");
+        // A finishing request has both timestamps by construction; a zeroed
+        // latency record beats crashing the serving loop if that ever breaks.
+        let latency = req.latency().unwrap_or_else(|| {
+            debug_assert!(false, "finished request {id:?} lacks timestamps");
+            RequestLatency {
+                ttft: SimDuration::ZERO,
+                tpot: SimDuration::ZERO,
+                jct: SimDuration::ZERO,
+                output_tokens: req.generated as u64,
+            }
+        });
         let blocks = req.table.take_blocks();
         self.rtc.free(&blocks);
         if let Some(acq) = req.acquired.take() {
             self.rtc.release_prefix(&acq);
         }
         self.stats.finished += 1;
+        if self.tracer.is_enabled() {
+            let span = self.req_spans.remove(&id).unwrap_or(SpanId::NONE);
+            self.tracer.event_in(
+                at,
+                "request.finished",
+                span,
+                vec![
+                    ("req", id.0.into()),
+                    ("output_tokens", req.generated.into()),
+                    ("prompt_tokens", req.prompt_len().into()),
+                    ("cached_tokens", req.cached_tokens.into()),
+                    ("preemptions", req.preemptions.into()),
+                ],
+            );
+            self.tracer.end_span(at, span);
+        }
         events.push(EngineEvent::Finished {
             id,
             at,
@@ -765,7 +986,7 @@ impl Engine {
 
     /// Prefill-only mode: the driver finished migrating `id`'s KV to a
     /// decode TE; release the local copy.
-    pub fn release_migrated(&mut self, id: RequestId) {
+    pub fn release_migrated(&mut self, now: SimTime, id: RequestId) {
         let Some(mut req) = self.requests.remove(&id) else {
             return;
         };
@@ -774,6 +995,16 @@ impl Engine {
         self.rtc.free(&blocks);
         if let Some(acq) = req.acquired.take() {
             self.rtc.release_prefix(&acq);
+        }
+        if self.tracer.is_enabled() {
+            let span = self.req_spans.remove(&id).unwrap_or(SpanId::NONE);
+            self.tracer.event_in(
+                now,
+                "request.migrated_out",
+                span,
+                vec![("req", id.0.into())],
+            );
+            self.tracer.end_span(now, span);
         }
         self.counters.incr("engine.migrated_out");
     }

@@ -112,9 +112,7 @@ impl EngineRequest {
         let ttft = first.since(self.new.arrival);
         let jct = end.since(self.new.arrival);
         let tpot = if self.generated > 1 {
-            SimDuration::from_nanos(
-                end.since(first).as_nanos() / (self.generated as u64 - 1),
-            )
+            SimDuration::from_nanos(end.since(first).as_nanos() / (self.generated as u64 - 1))
         } else {
             SimDuration::ZERO
         };

@@ -26,6 +26,7 @@ pub mod radix;
 use crate::block::{BlockId, BlockPool, OutOfBlocks};
 use crate::tokenizer::TokenId;
 pub use radix::{Location, NodeId, PrefixMatch, RadixTree};
+use simcore::trace::{Trace, TraceLevel, Tracer};
 use simcore::{Counters, SimTime};
 use std::collections::HashMap;
 
@@ -113,6 +114,10 @@ pub struct Rtc {
     retired_populates: HashMap<PopulateTicket, ()>,
     next_ticket: u64,
     counters: Counters,
+    tracer: Tracer,
+    /// Last sim-time seen on a time-bearing call; stamps events emitted
+    /// from methods that have no `now` parameter (match, evict).
+    clock_hint: SimTime,
 }
 
 impl Rtc {
@@ -128,7 +133,19 @@ impl Rtc {
             retired_populates: HashMap::new(),
             next_ticket: 0,
             counters: Counters::new(),
+            tracer: Tracer::disabled(),
+            clock_hint: SimTime::ZERO,
         }
+    }
+
+    /// Turns on sim-time tracing of cache hits/misses/evictions/populates.
+    pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.tracer = Tracer::enabled(level, capacity);
+    }
+
+    /// Drains everything traced so far.
+    pub fn take_trace(&mut self) -> Trace {
+        self.tracer.take()
     }
 
     /// Tokens per block.
@@ -163,8 +180,21 @@ impl Rtc {
         let m = self.tree.match_prefix(tokens);
         if m.tokens > 0 {
             self.counters.add("rtc.match_hit_tokens", m.tokens as u64);
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    self.clock_hint,
+                    "rtc.hit",
+                    vec![
+                        ("tokens", m.tokens.into()),
+                        ("npu_nodes", m.npu_prefix_nodes.into()),
+                    ],
+                );
+            }
         } else {
             self.counters.incr("rtc.match_miss");
+            if self.tracer.is_enabled() {
+                self.tracer.event(self.clock_hint, "rtc.miss", vec![]);
+            }
         }
         m
     }
@@ -245,7 +275,14 @@ impl Rtc {
         self.next_ticket += 1;
         let tokens = nodes.len() * self.cfg.block_size;
         self.counters.add("rtc.populate_tokens", tokens as u64);
-        let _ = now; // reserved for future deadline-based planning
+        self.clock_hint = self.clock_hint.max(now);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "rtc.populate_start",
+                vec![("ticket", ticket.0.into()), ("tokens", tokens.into())],
+            );
+        }
         self.populates.insert(
             ticket,
             InFlightPopulate {
@@ -272,17 +309,14 @@ impl Rtc {
     }
 
     /// Completes a populate: nodes move to HBM, their DRAM copies are
-    /// released.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown ticket — completing a transfer RTC never
-    /// planned means the engine and cache disagree about reality.
+    /// released. An unknown ticket — completing a transfer RTC never
+    /// planned — means the engine and cache disagree about reality: loud in
+    /// debug builds, ignored in release (the blocks stay where they are).
     pub fn complete_populate(&mut self, ticket: PopulateTicket) {
-        let inflight = self
-            .populates
-            .remove(&ticket)
-            .expect("complete_populate: unknown ticket");
+        let Some(inflight) = self.populates.remove(&ticket) else {
+            debug_assert!(false, "complete_populate: unknown ticket {ticket:?}");
+            return;
+        };
         for (&node, &dst) in inflight.nodes.iter().zip(&inflight.dst_blocks) {
             let (old_block, old_loc) = self.tree.block_of(node);
             debug_assert_eq!(old_loc, Location::Dram);
@@ -290,6 +324,16 @@ impl Rtc {
             self.tree.relocate(node, dst, Location::Npu);
         }
         self.tree.unlock(&inflight.nodes);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                self.clock_hint,
+                "rtc.populate_done",
+                vec![
+                    ("ticket", ticket.0.into()),
+                    ("blocks", inflight.nodes.len().into()),
+                ],
+            );
+        }
         self.retired_populates.insert(ticket, ());
     }
 
@@ -368,10 +412,18 @@ impl Rtc {
                 self.counters.incr("rtc.swap_out");
                 self.counters
                     .add("rtc.swap_out_tokens", self.cfg.block_size as u64);
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        self.clock_hint,
+                        "rtc.swap_out",
+                        vec![("tokens", self.cfg.block_size.into())],
+                    );
+                }
                 true
             }
             Err(_) => match self.tree.try_remove_subtree(node) {
                 Some(freed) => {
+                    let n_freed = freed.len();
                     for (b, l) in freed {
                         match l {
                             Location::Npu => {
@@ -382,6 +434,13 @@ impl Rtc {
                             }
                         }
                         self.counters.incr("rtc.evict_drop");
+                    }
+                    if self.tracer.is_enabled() {
+                        self.tracer.event(
+                            self.clock_hint,
+                            "rtc.evict_drop",
+                            vec![("blocks", n_freed.into())],
+                        );
                     }
                     true
                 }
@@ -397,7 +456,9 @@ impl Rtc {
         let mut moved_tokens = 0;
         while self.npu_pool.available() < target_free {
             let victims = self.tree.evictable(Location::Npu);
-            let Some(&victim) = victims.first() else { break };
+            let Some(&victim) = victims.first() else {
+                break;
+            };
             self.evict_node(victim);
             moved_tokens += self.cfg.block_size;
         }
@@ -418,6 +479,7 @@ impl Rtc {
     /// its block table and later release exactly what it took. Only the
     /// contiguous NPU prefix is acquired.
     pub fn acquire_prefix(&mut self, now: SimTime, m: &PrefixMatch) -> AcquiredPrefix {
+        self.clock_hint = self.clock_hint.max(now);
         let usable: Vec<NodeId> = m.nodes[..m.npu_prefix_nodes].to_vec();
         self.tree.touch(now, &usable);
         self.tree.lock(&usable);
@@ -452,6 +514,7 @@ impl Rtc {
         tokens: &[TokenId],
         blocks: &[BlockId],
     ) -> Vec<NodeId> {
+        self.clock_hint = self.clock_hint.max(now);
         let full = tokens.len() / self.cfg.block_size;
         let (chain, redundant) = self.tree.insert(now, tokens, &blocks[..full]);
         // One tree reference per *newly inserted* block: every supplied
@@ -462,7 +525,18 @@ impl Rtc {
                 self.npu_pool.incref(*b);
             }
         }
-        self.counters.add("rtc.inserted_blocks", (full - redundant_set.len()) as u64);
+        let new_blocks = full - redundant_set.len();
+        self.counters.add("rtc.inserted_blocks", new_blocks as u64);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "rtc.insert",
+                vec![
+                    ("new_blocks", new_blocks.into()),
+                    ("chain", chain.len().into()),
+                ],
+            );
+        }
         chain
     }
 }

@@ -300,9 +300,7 @@ impl RadixTree {
             .filter(|(_, n)| {
                 n.locks == 0
                     && n.location == tier
-                    && n.children
-                        .values()
-                        .all(|&c| self.node(c).location != tier)
+                    && n.children.values().all(|&c| self.node(c).location != tier)
             })
             .map(|(i, n)| (n.last_access, NodeId(i as u32)))
             .collect();

@@ -2,8 +2,8 @@
 //! driver loop plays the role the platform (deepserve) plays in production.
 
 use flowserve::{
-    synthetic_tokens, Engine, EngineConfig, EngineEvent, EngineVersion, NewRequest,
-    RequestId, TokenId,
+    synthetic_tokens, Engine, EngineConfig, EngineEvent, EngineVersion, NewRequest, RequestId,
+    TokenId,
 };
 use llm_model::{ExecCostModel, ModelSpec, Parallelism};
 use npu::specs::ClusterSpec;
@@ -206,7 +206,11 @@ fn v1_v2_v3_ordering_under_load() {
     // Same offered decode workload, three engine versions: throughput at
     // completion must strictly improve (Figure 3's ordering).
     let mut makespans = Vec::new();
-    for version in [EngineVersion::v1(), EngineVersion::v2(), EngineVersion::v3()] {
+    for version in [
+        EngineVersion::v1(),
+        EngineVersion::v2(),
+        EngineVersion::v3(),
+    ] {
         let cfg = EngineConfig {
             version,
             ..EngineConfig::colocated()
@@ -217,12 +221,7 @@ fn v1_v2_v3_ordering_under_load() {
         }
         d.run_to_completion();
         assert_eq!(d.finished.len(), 32);
-        let makespan = d
-            .finished
-            .iter()
-            .map(|(_, l, _, _)| l.jct)
-            .max()
-            .unwrap();
+        let makespan = d.finished.iter().map(|(_, l, _, _)| l.jct).max().unwrap();
         makespans.push(makespan.as_secs_f64());
     }
     assert!(
@@ -242,7 +241,7 @@ fn prefill_only_engine_emits_kv_and_releases_on_migration() {
     assert_eq!(kv_tokens, 2048);
     assert_eq!(d.finished.len(), 0, "prefill TE never finishes requests");
     assert_eq!(d.engine.migration_kv_tokens(id), Some(2048));
-    d.engine.release_migrated(id);
+    d.engine.release_migrated(d.now, id);
     assert_eq!(d.engine.migration_kv_tokens(id), None);
     assert_eq!(d.engine.counters().get("engine.migrated_out"), 1);
 }
@@ -330,7 +329,10 @@ fn populate_path_restores_dram_cache() {
     // cached blocks > the 1377-block pool, forcing demotion to DRAM.
     let t1 = SimTime::from_secs(200);
     for i in 0..12u64 {
-        assert!(d.submit(t1 + SimDuration::from_millis(i), req(10 + i, 600 + i, 2048, 20, t1)));
+        assert!(d.submit(
+            t1 + SimDuration::from_millis(i),
+            req(10 + i, 600 + i, 2048, 20, t1)
+        ));
     }
     d.run_to_completion();
     // Re-send the first prompt: the tail should come back via populate.
@@ -351,12 +353,80 @@ fn populate_path_restores_dram_cache() {
 }
 
 #[test]
+fn full_trace_reconstructs_request_lifecycles() {
+    use simcore::trace::TraceLevel;
+    let mut d = Driver::new(Engine::new(EngineConfig::colocated(), cost_34b_tp4()));
+    d.engine.enable_tracing(TraceLevel::Full, 1 << 16);
+    let targets = [40u32, 1, 96];
+    for (i, &out) in targets.iter().enumerate() {
+        let at = SimTime::from_millis(20 * i as u64);
+        assert!(d.submit(at, req(i as u64 + 1, 60 + i as u64, 1024, out, at)));
+    }
+    d.run_to_completion();
+    assert_eq!(d.finished.len(), 3);
+    let trace = d.engine.take_trace();
+    assert_eq!(trace.dropped, 0);
+
+    for (i, &out) in targets.iter().enumerate() {
+        let id = i as u64 + 1;
+        let by_req = |label: &'static str| {
+            trace
+                .events_labeled(label)
+                .filter(|e| e.attr_u64("req") == Some(id))
+                .collect::<Vec<_>>()
+        };
+        let queued = by_req("request.queued");
+        let first = by_req("request.first_token");
+        let fin = by_req("request.finished");
+        assert_eq!(
+            (queued.len(), first.len(), fin.len()),
+            (1, 1, 1),
+            "req {id}"
+        );
+        assert!(
+            queued[0].at <= first[0].at && first[0].at <= fin[0].at,
+            "req {id}: queued {} <= first_token {} <= finished {}",
+            queued[0].at,
+            first[0].at,
+            fin[0].at
+        );
+        assert_eq!(fin[0].attr_u64("output_tokens"), Some(out as u64));
+        // Token 1 comes out of prefill; every later token is one decode
+        // iteration, so Full-level decode_iter events count out - 1.
+        assert_eq!(
+            by_req("decode_iter").len() as u32,
+            out - 1,
+            "req {id}: decode iterations"
+        );
+        // 1024-token prompt over 512-token chunks: at least two chunks.
+        assert!(
+            by_req("prefill_chunk").len() >= 2,
+            "req {id}: prefill chunks"
+        );
+        // The request's span closes exactly at the finished event.
+        let span = trace
+            .spans_labeled("request")
+            .find(|s| s.attr_u64("req") == Some(id))
+            .expect("request span");
+        assert_eq!(span.end, Some(fin[0].at), "req {id}: span end");
+    }
+
+    // Every iteration span nests its per-request events: batch sizes in
+    // iteration attrs must sum to at least the total decode work done.
+    let iters = trace.spans_labeled("iteration").count();
+    assert!(iters > 0, "iteration spans present");
+}
+
+#[test]
 fn deterministic_replay() {
     let run = || {
         let mut d = Driver::new(Engine::new(EngineConfig::colocated(), cost_34b_tp4()));
         for i in 0..10u64 {
             let at = SimTime::from_millis(37 * i);
-            assert!(d.submit(at, req(i, i * 13 + 1, 700 + (i as usize * 53) % 900, 64, at)));
+            assert!(d.submit(
+                at,
+                req(i, i * 13 + 1, 700 + (i as usize * 53) % 900, 64, at)
+            ));
         }
         d.run_to_completion();
         d.finished

@@ -181,10 +181,9 @@ impl ExecCostModel {
         // ---- communication ----
         let mut comm_s = 0.0;
         if self.par.tp > 1 {
-            let bytes_per_layer = w.batch_tokens()
-                * self.model.hidden as u64
-                * self.model.dtype_bytes as u64
-                / self.par.sp as u64;
+            let bytes_per_layer =
+                w.batch_tokens() * self.model.hidden as u64 * self.model.dtype_bytes as u64
+                    / self.par.sp as u64;
             let per_layer =
                 hccl::all_reduce_time(&self.tp_link, self.par.tp as usize, bytes_per_layer);
             comm_s += per_layer.as_secs_f64() * (2 * self.model.num_layers) as f64;
@@ -323,7 +322,12 @@ mod tests {
             m.clone(),
             Parallelism::tp(2),
         );
-        let tp8 = ExecCostModel::new(cluster.server.chip.clone(), cluster.hccs, m, Parallelism::tp(8));
+        let tp8 = ExecCostModel::new(
+            cluster.server.chip.clone(),
+            cluster.hccs,
+            m,
+            Parallelism::tp(8),
+        );
         let w = BatchWork::prefill(2048, 0);
         let t2 = tp2.step_time(&w).as_secs_f64();
         let t8 = tp8.step_time(&w).as_secs_f64();

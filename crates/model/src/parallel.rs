@@ -37,7 +37,12 @@ impl Parallelism {
 
     /// Tensor x pipeline parallelism.
     pub fn tp_pp(tp: u32, pp: u32) -> Self {
-        Parallelism { tp, pp, dp: 1, sp: 1 }
+        Parallelism {
+            tp,
+            pp,
+            dp: 1,
+            sp: 1,
+        }
     }
 
     /// Total executor (NPU) count for one engine.

@@ -63,9 +63,7 @@ impl ModelSpec {
     pub fn kv_bytes_per_token(&self) -> u64 {
         let per_layer = match self.attention {
             AttentionKind::Mla { latent_dim } => latent_dim as u64 * self.dtype_bytes as u64,
-            _ => {
-                2 * self.num_kv_heads as u64 * self.head_dim as u64 * self.dtype_bytes as u64
-            }
+            _ => 2 * self.num_kv_heads as u64 * self.head_dim as u64 * self.dtype_bytes as u64,
         };
         per_layer * self.num_layers as u64
     }

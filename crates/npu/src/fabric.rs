@@ -120,14 +120,21 @@ impl Fabric {
 
     /// Starts a transfer of `bytes` from `src` to `dst` at `now`. Local
     /// transfers complete on the next `advance_to` call.
-    pub fn start_transfer(&mut self, now: SimTime, src: NpuId, dst: NpuId, bytes: u64) -> TransferId {
+    pub fn start_transfer(
+        &mut self,
+        now: SimTime,
+        src: NpuId,
+        dst: NpuId,
+        bytes: u64,
+    ) -> TransferId {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         let ports = self.endpoints(src, dst);
         if ports.is_empty() {
             // Local copy: model as a zero-pending transfer that completes
             // immediately at the next advance.
-            self.transfers.insert(id, TransferState { pending_flows: 0 });
+            self.transfers
+                .insert(id, TransferState { pending_flows: 0 });
             return id;
         }
         let n = ports.len();
@@ -135,7 +142,8 @@ impl Fabric {
             let flow = self.port_link(key).start_flow(now, bytes);
             self.flow_owner.insert((key, flow), id);
         }
-        self.transfers.insert(id, TransferState { pending_flows: n });
+        self.transfers
+            .insert(id, TransferState { pending_flows: n });
         id
     }
 
@@ -269,7 +277,10 @@ mod tests {
         let got = done[0].0.as_secs_f64();
         // Both ports drain at full rate so the estimate (one latency +
         // bytes/bw) matches within the double-counted setup latency.
-        assert!((got - est.as_secs_f64()).abs() < 1e-3, "got {got}, est {est}");
+        assert!(
+            (got - est.as_secs_f64()).abs() < 1e-3,
+            "got {got}, est {est}"
+        );
     }
 
     #[test]
@@ -294,7 +305,9 @@ mod tests {
         let done = drain(&mut f, t0);
         assert_eq!(done.len(), 2);
         let last = done.last().unwrap().0.as_secs_f64();
-        let lone = f.lone_transfer_estimate(NpuId::new(0, 0), dst, GB).as_secs_f64();
+        let lone = f
+            .lone_transfer_estimate(NpuId::new(0, 0), dst, GB)
+            .as_secs_f64();
         assert!(
             last > 1.8 * lone,
             "two flows into one NIC should take ~2x: {last} vs lone {lone}"
@@ -306,7 +319,10 @@ mod tests {
         let mut f = fabric();
         let a = NpuId::new(0, 0);
         let id = f.start_transfer(SimTime::from_secs(1), a, a, 100 * GB);
-        assert_eq!(f.next_event(SimTime::from_secs(1)), Some(SimTime::from_secs(1)));
+        assert_eq!(
+            f.next_event(SimTime::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
         assert_eq!(f.advance_to(SimTime::from_secs(1)), vec![id]);
         assert_eq!(f.active_transfers(), 0);
     }

@@ -160,9 +160,7 @@ impl PageCache {
 
     /// Bytes of `range` in `file` currently resident.
     pub fn resident_bytes(&self, file: FileId, range: ByteRange) -> u64 {
-        self.files
-            .get(&file)
-            .map_or(0, |r| r.resident_bytes(range))
+        self.files.get(&file).map_or(0, |r| r.resident_bytes(range))
     }
 
     fn touch(&mut self, file: FileId) {

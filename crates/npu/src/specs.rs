@@ -213,9 +213,7 @@ impl ClusterSpec {
 }
 
 /// Global NPU coordinate: `(server, chip-on-server)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NpuId {
     /// Server index within the cluster.
     pub server: usize,

@@ -2,7 +2,7 @@
 
 use npu::hccl;
 use npu::pagecache::{ByteRange, FileId, PageCache};
-use npu::specs::{ClusterSpec, LinkSpec, NpuId, ServerSpec, ChipSpec};
+use npu::specs::{ChipSpec, ClusterSpec, LinkSpec, NpuId, ServerSpec};
 use proptest::prelude::*;
 
 proptest! {

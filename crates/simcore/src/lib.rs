@@ -14,6 +14,8 @@
 //! * [`resource`] — queueing primitives: serial [`FifoChannel`]s and
 //!   processor-sharing [`SharedLink`]s, the building blocks for PCIe, HCCS,
 //!   RoCE and SSD models.
+//! * [`trace`] — sim-time spans and events ([`Tracer`], [`Trace`]):
+//!   ring-buffered, mergeable across components, zero-cost when disabled.
 //!
 //! Design rule: **no wall-clock time, no global state, no threads.** A
 //! simulation is an ordinary value you step; determinism comes from integer
@@ -24,9 +26,13 @@ pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::{Clock, EventQueue};
-pub use metrics::{Counters, LatencyStats, RequestLatency, Samples, Summary, TimeSeries};
+pub use metrics::{
+    Counters, LatencyStats, MetricId, MetricsRegistry, RequestLatency, Samples, Summary, TimeSeries,
+};
 pub use resource::{FifoChannel, FlowId, SharedLink};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{AttrValue, EventRecord, SpanId, SpanRecord, Trace, TraceLevel, Tracer};

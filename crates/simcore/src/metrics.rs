@@ -325,6 +325,276 @@ impl Counters {
     }
 }
 
+/// One metric behind a registry handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Samples(Samples),
+    Series(TimeSeries),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Samples(_) => "samples",
+            Metric::Series(_) => "series",
+        }
+    }
+}
+
+/// Handle to a registered metric; cheap to copy and use on hot paths
+/// (index lookup, no hashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+/// A named registry unifying the three metric primitives — [`Counters`]-style
+/// counters, [`Samples`] distributions, and [`TimeSeries`] — behind string
+/// names and queryable [`MetricId`] handles, with JSON export/import.
+///
+/// Registration is idempotent: asking for the same name returns the same
+/// handle. Names are namespaced by convention (`engine.`, `rtc.`, `sim.`).
+///
+/// # Panics
+///
+/// Re-registering a name as a different metric kind panics — that is a
+/// wiring bug, not a runtime condition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    index: BTreeMap<String, usize>,
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, make: fn() -> Metric) -> MetricId {
+        if let Some(&i) = self.index.get(name) {
+            let want = make();
+            assert_eq!(
+                self.entries[i].1.kind(),
+                want.kind(),
+                "metric {name:?} already registered as {}",
+                self.entries[i].1.kind()
+            );
+            return MetricId(i);
+        }
+        let i = self.entries.len();
+        self.entries.push((name.to_string(), make()));
+        self.index.insert(name.to_string(), i);
+        MetricId(i)
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, || Metric::Counter(0))
+    }
+
+    /// Registers (or looks up) a sample distribution.
+    pub fn samples(&mut self, name: &str) -> MetricId {
+        self.register(name, || Metric::Samples(Samples::new()))
+    }
+
+    /// Registers (or looks up) a time series.
+    pub fn series(&mut self, name: &str) -> MetricId {
+        self.register(name, || Metric::Series(TimeSeries::new()))
+    }
+
+    /// Adds `n` to a counter handle.
+    pub fn add(&mut self, id: MetricId, n: u64) {
+        match &mut self.entries[id.0].1 {
+            Metric::Counter(v) => *v += n,
+            other => panic!("MetricsRegistry::add on a {}", other.kind()),
+        }
+    }
+
+    /// Increments a counter handle.
+    pub fn incr(&mut self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Records one sample on a samples handle.
+    pub fn record(&mut self, id: MetricId, value: f64) {
+        match &mut self.entries[id.0].1 {
+            Metric::Samples(s) => s.record(value),
+            other => panic!("MetricsRegistry::record on a {}", other.kind()),
+        }
+    }
+
+    /// Appends a point to a series handle.
+    pub fn record_at(&mut self, id: MetricId, t: SimTime, value: f64) {
+        match &mut self.entries[id.0].1 {
+            Metric::Series(s) => s.record(t, value),
+            other => panic!("MetricsRegistry::record_at on a {}", other.kind()),
+        }
+    }
+
+    /// Current value of a counter by name (zero if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.index.get(name).map(|&i| &self.entries[i].1) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Distribution summary of a samples metric by name.
+    pub fn summary(&mut self, name: &str) -> Option<Summary> {
+        let &i = self.index.get(name)?;
+        match &mut self.entries[i].1 {
+            Metric::Samples(s) => Some(s.summary()),
+            _ => None,
+        }
+    }
+
+    /// Points of a series metric by name.
+    pub fn series_points(&self, name: &str) -> Option<&[(SimTime, f64)]> {
+        let &i = self.index.get(name)?;
+        match &self.entries[i].1 {
+            Metric::Series(s) => Some(s.points()),
+            _ => None,
+        }
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Copies every counter from a [`Counters`] set into this registry
+    /// (added onto any existing values).
+    pub fn import_counters(&mut self, counters: &Counters) {
+        for (k, v) in counters.iter() {
+            let id = self.counter(k);
+            self.add(id, v);
+        }
+    }
+
+    /// Exports the registry as a JSON object: name -> typed record.
+    /// Counters carry their exact value; samples their raw values plus a
+    /// summary; series their `[t_ns, value]` points. Sorted by name.
+    pub fn to_json(&mut self) -> serde::Value {
+        use serde::value::{Number, Value};
+        let mut out: Vec<(String, Value)> = Vec::new();
+        // Summaries need &mut (percentile sorting); precompute them.
+        let summaries: BTreeMap<String, Summary> = self
+            .entries
+            .iter_mut()
+            .filter_map(|(n, m)| match m {
+                Metric::Samples(s) => Some((n.clone(), s.summary())),
+                _ => None,
+            })
+            .collect();
+        for (name, metric) in &self.entries {
+            let v = match metric {
+                Metric::Counter(c) => Value::Object(vec![
+                    ("type".to_string(), Value::String("counter".to_string())),
+                    ("value".to_string(), Value::Number(Number::U64(*c))),
+                ]),
+                Metric::Samples(s) => Value::Object(vec![
+                    ("type".to_string(), Value::String("samples".to_string())),
+                    (
+                        "values".to_string(),
+                        Value::Array(
+                            s.values()
+                                .iter()
+                                .map(|&x| Value::Number(Number::F64(x)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "summary".to_string(),
+                        serde::Serialize::to_value(&summaries[name]),
+                    ),
+                ]),
+                Metric::Series(s) => Value::Object(vec![
+                    ("type".to_string(), Value::String("series".to_string())),
+                    (
+                        "points".to_string(),
+                        Value::Array(
+                            s.points()
+                                .iter()
+                                .map(|&(t, x)| {
+                                    Value::Array(vec![
+                                        Value::Number(Number::U64(t.as_nanos())),
+                                        Value::Number(Number::F64(x)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            };
+            out.push((name.clone(), v));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        serde::Value::Object(out)
+    }
+
+    /// Rebuilds a registry from [`MetricsRegistry::to_json`] output.
+    /// Counter values and series points round-trip exactly; sample values
+    /// round-trip through Rust's shortest-representation float formatting,
+    /// which is bit-exact.
+    pub fn from_json(v: &serde::Value) -> Result<MetricsRegistry, String> {
+        use serde::Value;
+        let Value::Object(entries) = v else {
+            return Err("metrics JSON root must be an object".to_string());
+        };
+        let mut reg = MetricsRegistry::new();
+        for (name, entry) in entries {
+            let kind = entry
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("metric {name:?}: missing type"))?;
+            match kind {
+                "counter" => {
+                    let val = entry
+                        .get("value")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("metric {name:?}: bad counter value"))?;
+                    let id = reg.counter(name);
+                    reg.add(id, val);
+                }
+                "samples" => {
+                    let vals = entry
+                        .get("values")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("metric {name:?}: missing values"))?;
+                    let id = reg.samples(name);
+                    for x in vals {
+                        let x = x
+                            .as_f64()
+                            .ok_or_else(|| format!("metric {name:?}: non-numeric sample"))?;
+                        reg.record(id, x);
+                    }
+                }
+                "series" => {
+                    let pts = entry
+                        .get("points")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| format!("metric {name:?}: missing points"))?;
+                    let id = reg.series(name);
+                    for p in pts {
+                        let t = p
+                            .at(0)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("metric {name:?}: bad point time"))?;
+                        let x = p
+                            .at(1)
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| format!("metric {name:?}: bad point value"))?;
+                        reg.record_at(id, SimTime::from_nanos(t), x);
+                    }
+                }
+                other => return Err(format!("metric {name:?}: unknown type {other:?}")),
+            }
+        }
+        Ok(reg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +686,86 @@ mod tests {
         assert_eq!(c.get("never"), 0);
         let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn registry_handles_are_idempotent_and_queryable() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("sim.completed");
+        assert_eq!(r.counter("sim.completed"), c, "same name, same handle");
+        r.add(c, 3);
+        r.incr(c);
+        assert_eq!(r.counter_value("sim.completed"), 4);
+        assert_eq!(r.counter_value("absent"), 0);
+
+        let s = r.samples("ttft_ms");
+        r.record(s, 10.0);
+        r.record(s, 30.0);
+        let sum = r.summary("ttft_ms").unwrap();
+        assert_eq!(sum.count, 2);
+        assert!((sum.mean - 20.0).abs() < 1e-9);
+
+        let ts = r.series("queue_depth");
+        r.record_at(ts, SimTime::ZERO, 1.0);
+        r.record_at(ts, SimTime::from_secs(1), 2.0);
+        assert_eq!(r.series_points("queue_depth").unwrap().len(), 2);
+        assert_eq!(
+            r.names().collect::<Vec<_>>(),
+            vec!["sim.completed", "ttft_ms", "queue_depth"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_change() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x");
+        r.samples("x");
+    }
+
+    #[test]
+    fn registry_imports_counters() {
+        let mut c = Counters::new();
+        c.add("a", 2);
+        c.add("b", 7);
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("a");
+        r.add(a, 1);
+        r.import_counters(&c);
+        assert_eq!(r.counter_value("a"), 3);
+        assert_eq!(r.counter_value("b"), 7);
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("sim.completed");
+        r.add(c, 41);
+        let s = r.samples("ttft_ms");
+        for v in [12.5, 800.0, 0.125, 3.0] {
+            r.record(s, v);
+        }
+        let ts = r.series("kv_blocks");
+        r.record_at(ts, SimTime::from_nanos(17), 1.0);
+        r.record_at(ts, SimTime::from_millis(5), 2.5);
+
+        // record -> export JSON text -> parse -> rebuild -> re-export.
+        let text = r.to_json().to_json();
+        let parsed = serde::Value::parse(&text).unwrap();
+        let mut rebuilt = MetricsRegistry::from_json(&parsed).unwrap();
+        assert_eq!(rebuilt.counter_value("sim.completed"), 41);
+        assert_eq!(rebuilt.summary("ttft_ms").unwrap().count, 4);
+        assert_eq!(
+            rebuilt.series_points("kv_blocks").unwrap(),
+            r.series_points("kv_blocks").unwrap()
+        );
+        assert_eq!(rebuilt.to_json().to_json(), text, "export is a fixed point");
+    }
+
+    #[test]
+    fn registry_from_json_rejects_garbage() {
+        assert!(MetricsRegistry::from_json(&serde::Value::Null).is_err());
+        let bad = serde::Value::parse(r#"{"x": {"type": "gauge"}}"#).unwrap();
+        assert!(MetricsRegistry::from_json(&bad).is_err());
     }
 }

@@ -316,7 +316,7 @@ mod tests {
         let a = link.start_flow(t0, 1_000_000_000); // alone: would finish at 1s
         let t_half = SimTime::from_millis(500);
         let b = link.start_flow(t_half, 1_000_000_000); // joins at 0.5s
-        // a has 0.5 GB left, now at 0.5 GB/s => finishes at 1.5s.
+                                                        // a has 0.5 GB left, now at 0.5 GB/s => finishes at 1.5s.
         let next = link.next_completion(t_half).unwrap();
         assert!((next.as_secs_f64() - 1.5).abs() < 1e-6, "{next}");
         let done_a = link.advance_to(next);

@@ -1,40 +1,72 @@
 //! Seeded randomness and the distributions the workloads need.
 //!
-//! Everything is built on `rand::rngs::StdRng` from a caller-supplied seed,
-//! so a given seed reproduces the exact same arrival process, prompt lengths
-//! and decode lengths run after run. The non-uniform distributions (normal,
-//! lognormal, Zipf) are implemented here directly rather than pulling in
-//! `rand_distr`, keeping the dependency set to the pre-approved list.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! Everything is built on a self-contained xoshiro256++ generator (seeded
+//! through SplitMix64 from a caller-supplied 64-bit seed), so a given seed
+//! reproduces the exact same arrival process, prompt lengths and decode
+//! lengths run after run — with zero external dependencies, which keeps the
+//! workspace buildable offline. The non-uniform distributions (normal,
+//! lognormal, Zipf) are implemented here directly.
 
 /// A deterministic random source for simulations.
+///
+/// Core generator: xoshiro256++ (Blackman & Vigna), a small, fast, high
+/// quality non-cryptographic PRNG. State is expanded from the seed via
+/// SplitMix64 so similar seeds still give uncorrelated streams.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box-Muller transform.
     gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             gauss_spare: None,
         }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator. Used to give each component
     /// (arrivals, lengths, predictor noise, ...) its own stream so adding a
     /// draw in one place does not perturb every other stream.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.next_u64())
+        let seed = self.next();
+        SimRng::seed_from_u64(seed)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` (53 random mantissa bits).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -44,7 +76,12 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "SimRng::range: empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        // Fixed-point multiply maps a 64-bit draw onto the span; the bias is
+        // below 2^-64 per unit of span, irrelevant for simulation draws and
+        // (unlike rejection sampling) always consumes exactly one draw,
+        // which keeps replay counting simple.
+        let span = hi - lo;
+        lo + ((self.next() as u128 * span as u128) >> 64) as u64
     }
 
     /// Uniform index in `[0, n)`.
@@ -54,7 +91,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "SimRng::index: n must be positive");
-        self.inner.gen_range(0..n)
+        self.range(0, n as u64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -159,7 +196,7 @@ impl SimRng {
 
     /// Raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next()
     }
 }
 

@@ -350,7 +350,9 @@ mod tests {
         };
         let reqs = w.generate(&mut rng());
         assert_eq!(reqs.len(), 64);
-        assert!(reqs.iter().all(|r| r.prompt_len == 2048 && r.output_len == 128));
+        assert!(reqs
+            .iter()
+            .all(|r| r.prompt_len == 2048 && r.output_len == 128));
         // Distinct seeds: no accidental prefix sharing.
         let mut seeds: Vec<u64> = reqs.iter().map(|r| r.prompt_seed).collect();
         seeds.sort_unstable();
@@ -390,9 +392,7 @@ mod tests {
         let reqs = w.generate(&mut rng(), 300.0);
         let in_burst = reqs
             .iter()
-            .filter(|r| {
-                r.arrival >= SimTime::from_secs(100) && r.arrival < SimTime::from_secs(150)
-            })
+            .filter(|r| r.arrival >= SimTime::from_secs(100) && r.arrival < SimTime::from_secs(150))
             .count();
         let before = reqs
             .iter()

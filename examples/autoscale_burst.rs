@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example autoscale_burst`
 
 use deepserve_repro::deepserve::{
-    Autoscaler, AutoscalerConfig, AutoscaleSignal, PodPool, PreloadManager,
-    ScaleAction, ScalingModel, ScalingOptimizations, SourceLoad, TePool,
+    AutoscaleSignal, Autoscaler, AutoscalerConfig, PodPool, PreloadManager, ScaleAction,
+    ScalingModel, ScalingOptimizations, SourceLoad, TePool,
 };
 use deepserve_repro::llm_model::{Checkpoint, ModelSpec, Parallelism};
 use deepserve_repro::npu::pagecache::{FileId, PageCache};

@@ -37,8 +37,10 @@ fn main() {
         rps,
     );
 
-    for (name, report) in [("4x PD-colocated", &mut coloc), ("2P + 2D disaggregated", &mut disagg)]
-    {
+    for (name, report) in [
+        ("4x PD-colocated", &mut coloc),
+        ("2P + 2D disaggregated", &mut disagg),
+    ] {
         let ttft = report.latency.ttft_ms();
         let tpot = report.latency.tpot_ms();
         println!("{name}:");

@@ -3,8 +3,8 @@
 //! these breaks, the corresponding figure's shape has regressed.
 
 use deepserve_repro::deepserve::{
-    materialize_trace, ClusterConfig, ClusterSim, LoadPath, ScalingModel,
-    ScalingOptimizations, SourceLoad, TeRole,
+    materialize_trace, ClusterConfig, ClusterSim, LoadPath, ScalingModel, ScalingOptimizations,
+    SourceLoad, TeRole,
 };
 use deepserve_repro::flowserve::{
     synthetic_tokens, Engine, EngineConfig, EngineEvent, EngineVersion, NewRequest, RequestId,
@@ -62,7 +62,12 @@ fn engine_versions_order_offline_throughput() {
                 }
             }
         }
-        (batch * 128) as f64 / finish.since(first).as_secs_f64()
+        let decode_span = finish.since(first).as_secs_f64();
+        assert!(
+            decode_span > 0.0,
+            "decode span must be positive, got {decode_span}"
+        );
+        (batch * 128) as f64 / decode_span
     };
     let v1 = run(EngineVersion::v1());
     let v2 = run(EngineVersion::v2());
@@ -123,7 +128,12 @@ fn npu_fork_scales_flat_with_bounded_contention() {
     let m = ScalingModel::new(ClusterSpec::gen2_cluster(16));
     let ckpt = Checkpoint::new(FileId(1), ModelSpec::llama3_8b());
     let par = Parallelism::tp(1);
-    let one = m.te_load(&ckpt, par, LoadPath::NpuForkHccs { fanout: 1 }, SourceLoad::idle());
+    let one = m.te_load(
+        &ckpt,
+        par,
+        LoadPath::NpuForkHccs { fanout: 1 },
+        SourceLoad::idle(),
+    );
     let sixty_four = m.te_load(
         &ckpt,
         par,

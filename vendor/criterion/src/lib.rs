@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `Criterion`/`Bencher` API surface the workspace's
+//! microbenchmarks use (`bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`, `criterion_main!`) with a simple wall-clock harness:
+//! a short warm-up, then timed batches until a time budget is spent, then a
+//! per-iteration mean/min report on stdout. No statistics engine, plots, or
+//! baselines — enough to compare hot-path costs run over run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mirror of criterion's batch sizing hint. The harness sizes batches by
+/// time budget, so the variants only gate how many setup calls it amortizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    budget: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    /// (total measured time, iterations measured)
+    measured: Vec<(Duration, u64)>,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            budget: self.budget,
+            measured: Vec::new(),
+        };
+        f(&mut b);
+        let total: Duration = b.measured.iter().map(|&(d, _)| d).sum();
+        let iters: u64 = b.measured.iter().map(|&(_, n)| n).sum();
+        if iters == 0 {
+            println!("bench {name}: no iterations measured");
+            return self;
+        }
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        let min_ns = b
+            .measured
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(d, n)| d.as_nanos() as f64 / n as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!("bench {name}: mean {mean_ns:.1} ns/iter, best-batch {min_ns:.1} ns/iter ({iters} iters)");
+        self
+    }
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; total measured time is the mean basis.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        // Measure in growing batches until the budget is spent.
+        let mut batch = 1u64;
+        let begin = Instant::now();
+        while begin.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.measured.push((t0.elapsed(), batch));
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let begin = Instant::now();
+        while begin.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.measured.push((t0.elapsed(), 1));
+            black_box(out);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

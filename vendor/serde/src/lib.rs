@@ -1,0 +1,183 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs.
+//!
+//! The real `serde` is a data-model/visitor framework; this crate collapses
+//! that to a single [`Serialize`] trait that renders a value into an owned
+//! JSON [`Value`] tree. `serde_json` (the sibling stub) formats and parses
+//! that tree. The derive macros (`serde_derive`) generate `Serialize` impls
+//! with the same field/variant layout real serde would produce (externally
+//! tagged enums, objects for named-field structs), so swapping the real
+//! crates back in later changes no output shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+/// Render `self` as a JSON value tree.
+///
+/// The derive macro (`#[derive(Serialize)]`) implements this for structs and
+/// enums; the impls below cover primitives and standard containers.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($idx:tt : $t:ident),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+ser_tuple!(0: A);
+ser_tuple!(0: A, 1: B);
+ser_tuple!(0: A, 1: B, 2: C);
+ser_tuple!(0: A, 1: B, 2: C, 3: D);
+
+/// Map keys must render as JSON strings.
+pub trait SerializeKey {
+    fn to_key(&self) -> String;
+}
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+impl SerializeKey for str {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+}
+impl<K: SerializeKey + ?Sized> SerializeKey for &K {
+    fn to_key(&self) -> String {
+        (**self).to_key()
+    }
+}
+macro_rules! key_int {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output: HashMap iteration order is not stable.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}

@@ -1,0 +1,285 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote` in this
+//! offline environment) and emits a `serde::Serialize` impl producing the
+//! same JSON shape real serde would: named-field structs become objects,
+//! tuple structs arrays, and enums are externally tagged (unit variants as
+//! strings, newtype variants as `{"Name": value}`, tuple variants as
+//! `{"Name": [..]}`, struct variants as `{"Name": {..}}`).
+//!
+//! Supported item shapes: non-generic structs and enums. Generic items are
+//! rejected with a compile error naming this file, so a future need is easy
+//! to diagnose.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+/// `Deserialize` is derived in a few places but never invoked (no
+/// `from_str::<T>` call sites exist); emit nothing so the derive position
+/// stays valid without dragging in a deserialization framework.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+
+    // Reject generics: none of the workspace's serialized types are generic,
+    // and supporting them here would triple the parser for no user.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` unsupported (vendor/serde_derive)"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(struct_impl(&name, &fields))
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(enum_impl(&name, &parse_variants(body)?))
+        }
+        other => Err(format!(
+            "serde stub derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and type tokens (commas inside `<...>` are not separators).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle = 0i32;
+    let mut saw_tokens = false;
+    for tok in body {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // `(A, B)` has one comma and two fields; a trailing comma would
+    // over-count, but rustfmt strips those from tuple structs in practice.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(vname)) = iter.next() else {
+            break;
+        };
+        let vname = vname.to_string();
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((vname, fields));
+        // Skip optional discriminant and the trailing comma.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn struct_impl(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn enum_impl(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => serde::Value::String({vname:?}.to_string()),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(f0) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Serialize::to_value(f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Value::Array(vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let binds = fnames.join(", ");
+                let entries: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => serde::Value::Object(vec![({vname:?}.to_string(), serde::Value::Object(vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n            {}\n        }}\n    }}\n}}",
+        arms.join("\n            ")
+    )
+}

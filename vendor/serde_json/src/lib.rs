@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde_json`: formats and parses the [`Value`]
+//! model defined by the `serde` stub. Covers the subset this workspace
+//! uses: `to_string`, `to_string_pretty`, `to_value`, and `from_str`
+//! (returning a dynamically typed [`Value`]).
+
+pub use serde::value::{Number, ParseError, Value};
+
+/// Error type mirroring `serde_json::Error`'s role in signatures.
+pub type Error = ParseError;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON string. Infallible for this stub's data model, but keeps
+/// the `Result` signature callers expect from real serde_json.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(input: &str) -> Result<Value> {
+    Value::parse(input)
+}
