@@ -1,0 +1,166 @@
+//! Fault sweep: goodput and tail-latency degradation under TE crashes.
+//!
+//! Sweeps crash rate (Poisson crashes per second across the pool) against
+//! the health monitor's miss threshold (faster detection vs more false-
+//! positive risk in a real deployment) on a 4-TE colocated pool serving the
+//! chat trace. For each cell we report goodput (completed requests over the
+//! makespan), p99 TTFT/JCT degradation vs the zero-fault baseline, and the
+//! recovery counters (detections, repairs, re-dispatches, RTC tokens saved
+//! on re-prefill).
+//!
+//! The headline property: goodput degrades *gracefully* with crash rate —
+//! no cliff to zero while spare capacity exists — because re-dispatch plus
+//! the fast-scaling repair path keeps the pool serving.
+//!
+//! Run: `cargo run --release -p deepserve-bench --bin fault_sweep`
+
+use deepserve::{
+    materialize_trace, ClusterConfig, ClusterSim, FaultRecoveryConfig, HealthConfig, Policy, TeRole,
+};
+use deepserve_bench::{header, write_json};
+use serde::Serialize;
+use simcore::{FaultPlan, SimDuration, SimRng};
+use workloads::ChatTrace;
+
+const N_TES: u32 = 4;
+const REQUESTS: usize = 120;
+const RPS: f64 = 1.2;
+const WORKLOAD_SEED: u64 = 71;
+const PLAN_SEED: u64 = 1009;
+const HORIZON: SimDuration = SimDuration::from_secs(300);
+
+#[derive(Serialize)]
+struct Cell {
+    crash_rate_per_sec: f64,
+    miss_threshold: u32,
+    crashes_planned: usize,
+    completed: u64,
+    failed: u64,
+    goodput_rps: f64,
+    ttft_p99_ms: f64,
+    jct_p99_ms: f64,
+    detected: u64,
+    repaired: u64,
+    requeued: u64,
+    requeue_cache_hit_tokens: u64,
+    repair_latency_ms_mean: f64,
+}
+
+#[derive(Serialize, Default)]
+struct Output {
+    baseline_goodput_rps: f64,
+    baseline_ttft_p99_ms: f64,
+    baseline_jct_p99_ms: f64,
+    cells: Vec<Cell>,
+}
+
+fn run_cell(rate: f64, miss_threshold: u32) -> Cell {
+    let mut rng = SimRng::seed_from_u64(WORKLOAD_SEED);
+    let reqs = materialize_trace(&ChatTrace::paper(RPS).generate(&mut rng, REQUESTS), 64_000);
+    let plan = FaultPlan::random_crashes(PLAN_SEED, N_TES, HORIZON, rate);
+    let crashes_planned = plan.events.len();
+
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, &[TeRole::Colocated; N_TES as usize]);
+    sim.inject(reqs);
+    let recovery = FaultRecoveryConfig {
+        health: HealthConfig {
+            miss_threshold,
+            ..HealthConfig::default()
+        },
+        ..FaultRecoveryConfig::default()
+    };
+    sim.install_faults(&plan, recovery);
+    let mut report = sim.run_to_completion();
+    let (done, sub) = sim.progress();
+    assert_eq!(done + sim.failed(), sub, "conservation in every cell");
+
+    let goodput = done as f64 / report.makespan.as_secs_f64().max(1e-9);
+    let repair_mean = report
+        .metrics
+        .summary("cluster.repair_latency_ms")
+        .map(|s| s.mean)
+        .unwrap_or(0.0);
+    Cell {
+        crash_rate_per_sec: rate,
+        miss_threshold,
+        crashes_planned,
+        completed: done,
+        failed: sim.failed(),
+        goodput_rps: goodput,
+        ttft_p99_ms: report.latency.ttft_ms().p99,
+        jct_p99_ms: report.latency.jct_ms().p99,
+        detected: report.counters.get("cluster.detected_down"),
+        repaired: report.counters.get("cluster.repaired"),
+        requeued: report.counters.get("sim.requeued"),
+        requeue_cache_hit_tokens: report.counters.get("sim.requeue_cache_hit_tokens"),
+        repair_latency_ms_mean: repair_mean,
+    }
+}
+
+fn main() {
+    let mut out = Output::default();
+
+    header("Fault sweep: crash rate x detection threshold (4 colocated TEs)");
+    let baseline = run_cell(0.0, 3);
+    out.baseline_goodput_rps = baseline.goodput_rps;
+    out.baseline_ttft_p99_ms = baseline.ttft_p99_ms;
+    out.baseline_jct_p99_ms = baseline.jct_p99_ms;
+    println!(
+        "baseline (no faults): goodput {:.3} req/s, TTFT p99 {:.0} ms, JCT p99 {:.0} ms",
+        baseline.goodput_rps, baseline.ttft_p99_ms, baseline.jct_p99_ms
+    );
+
+    println!(
+        "\n{:>10} {:>6} {:>8} {:>10} {:>8} {:>11} {:>10} {:>9} {:>9}",
+        "rate/s",
+        "miss",
+        "crashes",
+        "goodput",
+        "done",
+        "TTFTp99 ms",
+        "JCTp99 ms",
+        "requeued",
+        "repair ms"
+    );
+    for &rate in &[0.0, 0.005, 0.01, 0.02, 0.05] {
+        for &miss in &[1u32, 3, 5] {
+            let cell = run_cell(rate, miss);
+            println!(
+                "{:>10.3} {:>6} {:>8} {:>10.3} {:>8} {:>11.0} {:>10.0} {:>9} {:>9.0}",
+                cell.crash_rate_per_sec,
+                cell.miss_threshold,
+                cell.crashes_planned,
+                cell.goodput_rps,
+                cell.completed,
+                cell.ttft_p99_ms,
+                cell.jct_p99_ms,
+                cell.requeued,
+                cell.repair_latency_ms_mean,
+            );
+            out.cells.push(cell);
+        }
+    }
+
+    // Graceful-degradation check: goodput never collapses to zero while
+    // spare capacity exists, and stays within a sane band of the baseline.
+    let min_goodput = out
+        .cells
+        .iter()
+        .map(|c| c.goodput_rps)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_goodput > 0.25 * out.baseline_goodput_rps,
+        "goodput cliff: {min_goodput:.3} vs baseline {:.3}",
+        out.baseline_goodput_rps
+    );
+    println!(
+        "\nexpected: goodput shrinks smoothly with crash rate (worst cell {:.0}% of\nbaseline); higher miss thresholds detect later and stretch the JCT tail.",
+        100.0 * min_goodput / out.baseline_goodput_rps
+    );
+
+    write_json("fault_sweep", &out);
+}

@@ -11,18 +11,22 @@
 use crate::api::ApiRequest;
 use crate::heatmap::Heatmap;
 use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
+use crate::manager::{HealthConfig, HealthMonitor};
 use crate::predictor::{DecodePredictor, FixedAccuracy, Oracle};
 use crate::prompt_tree::TeId;
+use crate::scaling::{LoadPath, ScalingModel, ScalingOptimizations, SourceLoad};
 use flowserve::{
     BufferInfo, DistFlow, Engine, EngineConfig, EngineEvent, EngineMode, MemTier, NewRequest,
     PopulateTicket, RequestId,
 };
-use llm_model::{ExecCostModel, ModelSpec, Parallelism};
+use llm_model::{Checkpoint, ExecCostModel, ModelSpec, Parallelism};
 use npu::fabric::{Fabric, TransferId};
+use npu::pagecache::FileId;
 use npu::specs::{ClusterSpec, NpuId};
+use simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Role of one TE in the serving pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -76,12 +80,58 @@ impl ClusterConfig {
     }
 }
 
+/// Detection and recovery knobs for fault-injected runs.
+///
+/// Only consulted once [`ClusterSim::install_faults`] arms the fault layer;
+/// fault-free simulations never read these values, which keeps healthy runs
+/// bit-identical to builds without the fault machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRecoveryConfig {
+    /// Heartbeat cadence and miss threshold for the cluster manager.
+    pub health: HealthConfig,
+    /// Re-dispatch attempts per request before it fails permanently.
+    pub max_retries: u32,
+    /// First re-dispatch backoff; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+    /// Fast-scaling optimizations applied when re-provisioning a dead TE
+    /// (the 5-step pipeline decides the repair latency).
+    pub repair: ScalingOptimizations,
+}
+
+impl Default for FaultRecoveryConfig {
+    fn default() -> Self {
+        FaultRecoveryConfig {
+            health: HealthConfig::default(),
+            max_retries: 5,
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(2),
+            repair: ScalingOptimizations::all(),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrival(u32),
     Wake(TeId),
-    Populate(TeId, PopulateTicket),
+    /// Populate completion, guarded by the TE's engine epoch so transfers
+    /// started before a crash cannot land on the replacement engine.
+    Populate(TeId, u32, PopulateTicket),
     FabricAdvance,
+    /// Injected fault (index into the installed plan's events).
+    Fault(u32),
+    /// Periodic cluster-manager heartbeat sweep.
+    HealthCheck,
+    /// Re-dispatch of a requeued or deferred request (`arrivals` index).
+    Redispatch(u32),
+    /// A replacement TE comes online after the fast-scaling pipeline.
+    RepairDone(TeId),
+    /// A straggler slowdown window expires.
+    StragglerEnd(TeId),
+    /// Retry a KV migration that hit a transient DistFlow failure.
+    MigrationRetry(RequestId),
 }
 
 struct Te {
@@ -92,6 +142,17 @@ struct Te {
     /// Host-DRAM -> HBM channel for populate transfers.
     pcie: FifoChannel,
     scheduled_wake: Option<SimTime>,
+    /// False between a crash and the end of its repair.
+    alive: bool,
+    /// True once the health monitor has noticed the crash (the JE stops
+    /// routing here) and until the repair completes.
+    detected: bool,
+    /// When the current outage started.
+    failed_at: Option<SimTime>,
+    /// Bumped whenever the engine is replaced; stale-epoch events no-op.
+    epoch: u32,
+    /// Busy time salvaged from engines discarded by earlier repairs.
+    prior_busy: SimDuration,
 }
 
 struct Migration {
@@ -111,9 +172,13 @@ pub struct RunReport {
     pub latency: LatencyStats,
     /// Wall-clock span from first arrival to last completion.
     pub makespan: SimDuration,
+    /// Requests that failed permanently (retry budget exhausted or
+    /// rejected); always zero in fault-free runs.
+    pub failed: u64,
     /// Event counters.
     pub counters: Counters,
-    /// Per-TE busy time.
+    /// Per-TE busy time (includes busy time salvaged from engines that
+    /// were replaced by a repair).
     pub te_busy: Vec<(TeId, SimDuration)>,
     /// Merged sim-time trace (empty unless [`ClusterSim::enable_tracing`]
     /// was called). Components: `cluster`, `je`, `distflow`, `te<N>`, `rtc`.
@@ -128,6 +193,32 @@ impl RunReport {
     /// Decode throughput over the makespan (tokens/s).
     pub fn throughput(&self) -> f64 {
         self.latency.decode_throughput(self.makespan)
+    }
+
+    /// Renders the report as a deterministic JSON value (the trace is
+    /// excluded — compare it separately via `trace.to_json()`). Keys and
+    /// counter entries come out in a fixed order, so two bit-identical runs
+    /// produce byte-identical JSON.
+    pub fn to_json(&mut self) -> serde::Value {
+        use serde::{Serialize, Value};
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        Value::Object(vec![
+            ("completed".to_string(), self.latency.completed().to_value()),
+            ("failed".to_string(), self.failed.to_value()),
+            (
+                "makespan_ns".to_string(),
+                self.makespan.as_nanos().to_value(),
+            ),
+            ("ttft_ms".to_string(), self.latency.ttft_ms().to_value()),
+            ("tpot_ms".to_string(), self.latency.tpot_ms().to_value()),
+            ("jct_ms".to_string(), self.latency.jct_ms().to_value()),
+            ("counters".to_string(), Value::Object(counters)),
+            ("metrics".to_string(), self.metrics.to_json()),
+        ])
     }
 }
 
@@ -156,6 +247,33 @@ pub struct ClusterSim {
     distflow: DistFlow,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    // --- fault layer (inert until `install_faults`) ---
+    fault_cfg: FaultRecoveryConfig,
+    fault_events: Vec<FaultEvent>,
+    health: Option<HealthMonitor>,
+    /// Active link degradation: `(bandwidth factor, expiry)`.
+    link_degrade: Option<(f64, SimTime)>,
+    /// KV transfers started before this instant fail once.
+    flaky_until: Option<SimTime>,
+    /// Requests that already consumed their one transient transfer failure.
+    flaked: HashSet<RequestId>,
+    /// Stash for flaked migrations awaiting retry: `(from, kv_tokens,
+    /// first_token_at)`.
+    migration_retry: HashMap<RequestId, (TeId, usize, SimTime)>,
+    /// Re-dispatch attempts per request.
+    retries: HashMap<RequestId, u32>,
+    /// Requests that reached a terminal state (finished or failed).
+    terminal: HashSet<RequestId>,
+    failed: u64,
+    repairs_pending: u32,
+    /// Request id -> `arrivals` index, for re-dispatch.
+    arrival_index: HashMap<RequestId, u32>,
+    /// Traces salvaged from engines replaced by repairs.
+    salvaged_traces: Vec<(String, Trace)>,
+    /// Counters salvaged from engines replaced by repairs.
+    salvaged_counters: Counters,
+    /// Tracing config, replayed onto replacement engines.
+    trace_cfg: Option<(TraceLevel, usize)>,
 }
 
 impl ClusterSim {
@@ -184,36 +302,21 @@ impl ClusterSim {
             let npus: Vec<NpuId> = (0..world)
                 .map(|k| NpuId::new(server, first_chip + k))
                 .collect();
-            let mode = match role {
-                TeRole::Colocated => EngineMode::Colocated,
-                TeRole::Prefill => EngineMode::PrefillOnly,
-                TeRole::Decode => EngineMode::DecodeOnly,
-            };
-            let engine_cfg = EngineConfig {
-                mode,
-                prefill_chunk_tokens: if role == TeRole::Prefill {
-                    4096
-                } else {
-                    cfg.engine.prefill_chunk_tokens
-                },
-                ..cfg.engine.clone()
-            };
-            let cost = ExecCostModel::new(
-                cfg.cluster.server.chip.clone(),
-                cfg.cluster.hccs,
-                cfg.model.clone(),
-                cfg.parallelism,
-            );
             tes.push(Te {
                 id: TeId(i as u32),
                 role,
-                engine: Engine::new(engine_cfg, cost),
+                engine: Self::build_engine(&cfg, role),
                 npus,
                 pcie: FifoChannel::new(
                     cfg.cluster.server.pcie_bw_per_npu(world.min(8)) * world as f64,
                     SimDuration::from_micros(100),
                 ),
                 scheduled_wake: None,
+                alive: true,
+                detected: false,
+                failed_at: None,
+                epoch: 0,
+                prior_busy: SimDuration::ZERO,
             });
         }
 
@@ -278,7 +381,48 @@ impl ClusterSim {
             distflow,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
+            fault_cfg: FaultRecoveryConfig::default(),
+            fault_events: Vec::new(),
+            health: None,
+            link_degrade: None,
+            flaky_until: None,
+            flaked: HashSet::new(),
+            migration_retry: HashMap::new(),
+            retries: HashMap::new(),
+            terminal: HashSet::new(),
+            failed: 0,
+            repairs_pending: 0,
+            arrival_index: HashMap::new(),
+            salvaged_traces: Vec::new(),
+            salvaged_counters: Counters::new(),
+            trace_cfg: None,
         }
+    }
+
+    /// Builds one TE's engine from the cluster config; also used to stand up
+    /// a fresh engine (empty KV, empty RTC) when a repair replaces a dead TE.
+    fn build_engine(cfg: &ClusterConfig, role: TeRole) -> Engine {
+        let mode = match role {
+            TeRole::Colocated => EngineMode::Colocated,
+            TeRole::Prefill => EngineMode::PrefillOnly,
+            TeRole::Decode => EngineMode::DecodeOnly,
+        };
+        let engine_cfg = EngineConfig {
+            mode,
+            prefill_chunk_tokens: if role == TeRole::Prefill {
+                4096
+            } else {
+                cfg.engine.prefill_chunk_tokens
+            },
+            ..cfg.engine.clone()
+        };
+        let cost = ExecCostModel::new(
+            cfg.cluster.server.chip.clone(),
+            cfg.cluster.hccs,
+            cfg.model.clone(),
+            cfg.parallelism,
+        );
+        Engine::new(engine_cfg, cost)
     }
 
     /// Turns on sim-time tracing across the whole cluster: the sim itself,
@@ -286,6 +430,7 @@ impl ClusterSim {
     /// TE's engine + RTC. `capacity` bounds each component's span and event
     /// ring buffers.
     pub fn enable_tracing(&mut self, level: TraceLevel, capacity: usize) {
+        self.trace_cfg = Some((level, capacity));
         self.tracer = Tracer::enabled(level, capacity);
         self.je.enable_tracing(level, capacity);
         self.distflow.enable_tracing(level, capacity);
@@ -310,13 +455,50 @@ impl ClusterSim {
             assert!(r.arrival >= last, "arrivals must be sorted by time");
             last = r.arrival;
         }
-        for (i, r) in requests.into_iter().enumerate() {
+        for r in requests {
             let at = r.arrival;
             let idx = self.arrivals.len() as u32;
+            self.arrival_index.insert(r.id, idx);
             self.arrivals.push(r);
             self.clock.schedule(at, Event::Arrival(idx));
-            let _ = i;
         }
+    }
+
+    /// Arms the fault layer: schedules every event in `plan` into the
+    /// deterministic queue and starts cluster-manager health monitoring.
+    /// A run is then replayable bit-for-bit from `(workload, plan, cfg)`.
+    ///
+    /// An empty plan is a guaranteed no-op — nothing is scheduled, no
+    /// health monitoring starts, and the run stays bit-identical to one
+    /// that never called this method. Call after [`ClusterSim::inject`]
+    /// and before [`ClusterSim::run_to_completion`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a TE index outside the pool.
+    pub fn install_faults(&mut self, plan: &FaultPlan, cfg: FaultRecoveryConfig) {
+        if plan.is_empty() {
+            return;
+        }
+        if let Some(max) = plan.max_te() {
+            assert!(
+                (max as usize) < self.tes.len(),
+                "fault plan names TE {max}, but the pool has {} TEs",
+                self.tes.len()
+            );
+        }
+        self.fault_cfg = cfg;
+        self.fault_events = plan.events.clone();
+        for (i, ev) in self.fault_events.iter().enumerate() {
+            self.clock.schedule(ev.at, Event::Fault(i as u32));
+        }
+        let mut health = HealthMonitor::new(cfg.health);
+        for te in &self.tes {
+            health.register(te.id, SimTime::ZERO);
+        }
+        let first = SimTime::ZERO + cfg.health.heartbeat_interval;
+        self.health = Some(health);
+        self.clock.schedule(first, Event::HealthCheck);
     }
 
     /// Runs until all injected requests complete (or nothing can progress).
@@ -344,6 +526,12 @@ impl ClusterSim {
         trace.absorb("cluster", self.tracer.take());
         trace.absorb("je", self.je.take_trace());
         trace.absorb("distflow", self.distflow.take_trace());
+        // Traces salvaged from engines that a repair replaced, under the
+        // same `te<N>` component as the replacement so one TE slot reads
+        // as one timeline.
+        for (component, t) in std::mem::take(&mut self.salvaged_traces) {
+            trace.absorb(&component, t);
+        }
         for i in 0..self.tes.len() {
             let component = format!("te{i}");
             let t = self.tes[i].engine.take_trace();
@@ -356,23 +544,26 @@ impl ClusterSim {
         metrics.import_counters(&self.counters);
         metrics.import_counters(self.je.counters());
         metrics.import_counters(self.distflow.counters());
+        metrics.import_counters(&self.salvaged_counters);
         for te in &self.tes {
             metrics.import_counters(te.engine.counters());
             metrics.import_counters(te.engine.rtc().counters());
         }
         let busy_id = metrics.samples("cluster.te_busy_s");
         for te in &self.tes {
-            metrics.record(busy_id, te.engine.stats().busy.as_secs_f64());
+            let busy = te.prior_busy + te.engine.stats().busy;
+            metrics.record(busy_id, busy.as_secs_f64());
         }
 
         RunReport {
             latency,
             makespan,
+            failed: self.failed,
             counters: self.counters.clone(),
             te_busy: self
                 .tes
                 .iter()
-                .map(|t| (t.id, t.engine.stats().busy))
+                .map(|t| (t.id, t.prior_busy + t.engine.stats().busy))
                 .collect(),
             trace,
             metrics,
@@ -383,11 +574,30 @@ impl ClusterSim {
         match ev {
             Event::Arrival(idx) => self.on_arrival(now, idx),
             Event::Wake(te) => self.on_wake(now, te),
-            Event::Populate(te, ticket) => {
-                self.te_mut(te).engine.populate_transfer_done(now, ticket);
-                self.reschedule_wake(now, te);
+            Event::Populate(te, epoch, ticket) => {
+                let current = {
+                    let t = &self.tes[te.0 as usize];
+                    t.alive && t.epoch == epoch
+                };
+                if current {
+                    self.te_mut(te).engine.populate_transfer_done(now, ticket);
+                    self.reschedule_wake(now, te);
+                }
             }
             Event::FabricAdvance => self.on_fabric(now),
+            Event::Fault(idx) => self.on_fault(now, idx),
+            Event::HealthCheck => self.on_health_check(now),
+            Event::Redispatch(idx) => self.dispatch(now, idx),
+            Event::RepairDone(te) => self.on_repair_done(now, te),
+            Event::StragglerEnd(te) => {
+                // Harmless on a replacement engine: its slowdown is 1.0.
+                let t = self.te_mut(te);
+                if t.alive {
+                    t.engine.set_slowdown(1.0);
+                    self.reschedule_wake(now, te);
+                }
+            }
+            Event::MigrationRetry(id) => self.on_migration_retry(now, id),
         }
     }
 
@@ -395,9 +605,16 @@ impl ClusterSim {
         &mut self.tes[id.0 as usize]
     }
 
+    /// Scheduling view of the pool. TEs the health monitor has declared
+    /// down are excluded; TEs that crashed but are not yet detected stay
+    /// routable — the platform cannot know about a failure before its
+    /// heartbeats go missing.
     fn sched_pool(&self) -> SchedPool {
         let mut pool = SchedPool::default();
         for t in &self.tes {
+            if t.detected {
+                continue;
+            }
             if t.role == TeRole::Colocated {
                 pool.colocated.push(t.id);
             }
@@ -408,15 +625,19 @@ impl ClusterSim {
                 },
             );
         }
-        pool.pairs = self.pairs.clone();
+        pool.pairs = self
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(p, d)| !self.tes[p.0 as usize].detected && !self.tes[d.0 as usize].detected)
+            .collect();
         pool
     }
 
     fn on_arrival(&mut self, now: SimTime, idx: u32) {
-        let req = self.arrivals[idx as usize].clone();
         self.first_arrival = Some(self.first_arrival.unwrap_or(now).min(now));
-        let pool = self.sched_pool();
         if self.tracer.is_enabled() {
+            let req = &self.arrivals[idx as usize];
             self.tracer.event(
                 now,
                 "arrival",
@@ -430,8 +651,28 @@ impl ClusterSim {
             let qid = self.metrics.series("cluster.queue_depth");
             self.metrics.record_at(qid, now, depth as f64);
         }
-        let decision: Decision = self.je.schedule(now, &req, &pool);
         self.submitted += 1;
+        self.dispatch(now, idx);
+    }
+
+    /// Routes one arrival (or re-dispatch) through the JE. The request
+    /// keeps its original arrival stamp, so TTFT/JCT of a requeued request
+    /// include the full failure + backoff delay.
+    fn dispatch(&mut self, now: SimTime, idx: u32) {
+        let req = self.arrivals[idx as usize].clone();
+        if self.terminal.contains(&req.id) {
+            return;
+        }
+        let pool = self.sched_pool();
+        if pool.colocated.is_empty() && pool.pairs.is_empty() {
+            // Every routable TE is detected-down; park the request until a
+            // repair restores capacity.
+            self.counters.incr("sim.dispatch_deferred");
+            self.clock
+                .schedule(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+            return;
+        }
+        let decision: Decision = self.je.schedule(now, &req, &pool);
         let new = NewRequest {
             id: req.id,
             prompt: req.prompt.clone(),
@@ -456,12 +697,14 @@ impl ClusterSim {
     fn submit_to(&mut self, now: SimTime, te_id: TeId, new: NewRequest) {
         let world = self.cfg.parallelism.world_size() as u64;
         let kv_bytes_tok = self.cfg.model.kv_bytes_per_token();
+        let id = new.id;
         let outcome = {
             let te = self.te_mut(te_id);
             te.engine.submit(now, new)
         };
         if !outcome.accepted {
             self.counters.incr("sim.rejected");
+            self.note_failed(now, id, "rejected");
         }
         if let Some(p) = outcome.populate {
             // Populate streams each rank's slice in parallel; the channel
@@ -469,13 +712,18 @@ impl ClusterSim {
             let bytes = p.tokens as u64 * kv_bytes_tok;
             let te = self.te_mut(te_id);
             let done = te.pcie.enqueue(now, bytes);
-            self.clock.schedule(done, Event::Populate(te_id, p.ticket));
+            let epoch = te.epoch;
+            self.clock
+                .schedule(done, Event::Populate(te_id, epoch, p.ticket));
             let _ = world;
         }
         self.reschedule_wake(now, te_id);
     }
 
     fn reschedule_wake(&mut self, now: SimTime, te_id: TeId) {
+        if !self.tes[te_id.0 as usize].alive {
+            return;
+        }
         let wake = {
             let te = self.te_mut(te_id);
             te.engine.next_wake(now)
@@ -491,6 +739,10 @@ impl ClusterSim {
     }
 
     fn on_wake(&mut self, now: SimTime, te_id: TeId) {
+        // A crashed TE computes nothing; stale wakes fall on the floor.
+        if !self.tes[te_id.0 as usize].alive {
+            return;
+        }
         {
             let te = self.te_mut(te_id);
             if te.scheduled_wake == Some(now) {
@@ -528,7 +780,25 @@ impl ClusterSim {
                 }
                 self.start_migration(now, te_id, id, kv_tokens, at);
             }
-            EngineEvent::Finished { latency, .. } => {
+            EngineEvent::Finished {
+                id,
+                latency,
+                cached_tokens,
+                ..
+            } => {
+                if !self.terminal.insert(id) {
+                    // A request must finish exactly once; a second finish
+                    // means recovery bookkeeping double-submitted it.
+                    self.counters.incr("sim.double_terminal");
+                    debug_assert!(false, "request {id:?} reached a terminal state twice");
+                    return;
+                }
+                if self.retries.get(&id).is_some_and(|&n| n > 0) {
+                    // RTC prefix hits on re-dispatch shrink the re-prefill
+                    // cost of recovered requests; measure the savings.
+                    self.counters
+                        .add("sim.requeue_cache_hit_tokens", cached_tokens as u64);
+                }
                 let ttft_id = self.metrics.samples("cluster.ttft_ms");
                 self.metrics.record(ttft_id, latency.ttft.as_millis_f64());
                 let tpot_id = self.metrics.samples("cluster.tpot_ms");
@@ -540,8 +810,9 @@ impl ClusterSim {
                 self.last_completion = now;
                 self.counters.incr("sim.completed");
             }
-            EngineEvent::Rejected { .. } => {
+            EngineEvent::Rejected { id } => {
                 self.counters.incr("sim.rejected");
+                self.note_failed(now, id, "rejected");
             }
         }
     }
@@ -561,11 +832,38 @@ impl ClusterSim {
         kv_tokens: usize,
         first_token_at: SimTime,
     ) {
+        if let Some(until) = self.flaky_until {
+            // Transient DistFlow failure: the transfer attempt errors out
+            // once per request inside the flaky window; back off and retry
+            // with the route still intact.
+            if now < until && self.flaked.insert(id) {
+                self.counters.incr("sim.transfer_flaked");
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .event(now, "distflow.transfer_failed", vec![("req", id.0.into())]);
+                }
+                self.migration_retry
+                    .insert(id, (from, kv_tokens, first_token_at));
+                self.clock
+                    .schedule(now + self.fault_cfg.backoff_base, Event::MigrationRetry(id));
+                return;
+            }
+        }
         let Some(to) = self.decode_route.remove(&id) else {
             // No route (e.g. context-cache-create): release immediately.
             self.te_mut(from).engine.release_migrated(now, id);
             return;
         };
+        if !self.tes[to.0 as usize].alive {
+            // The decode endpoint died before the transfer started; free
+            // the prefill copy and send the request back through the JE.
+            self.pending_migration.remove(&id);
+            self.counters.incr("sim.migrations_aborted");
+            self.te_mut(from).engine.release_migrated(now, id);
+            self.reschedule_wake(now, from);
+            self.requeue(now, id);
+            return;
+        }
         let Some(new) = self.pending_migration.remove(&id) else {
             // Metadata lost (bookkeeping bug): loud in debug builds; in
             // release, free the prefill TE's copy instead of wedging it.
@@ -576,7 +874,16 @@ impl ClusterSim {
         // By-layer streaming overlaps most of the transfer with prefill;
         // only the residual tail is exposed (§4.5: "by-req or by-layer").
         let total_bytes = kv_tokens as u64 * self.cfg.model.kv_bytes_per_token();
-        let exposed = (total_bytes as f64 * (1.0 - self.cfg.kv_transfer_overlap)).max(1.0) as u64;
+        let mut exposed_f = (total_bytes as f64 * (1.0 - self.cfg.kv_transfer_overlap)).max(1.0);
+        if let Some((factor, until)) = self.link_degrade {
+            // Degraded bandwidth is modeled as proportionally more exposed
+            // bytes over the unchanged fabric rate.
+            if now < until {
+                exposed_f /= factor;
+                self.counters.incr("sim.transfers_degraded");
+            }
+        }
+        let exposed = exposed_f as u64;
         let src = self.tes[from.0 as usize].npus[0];
         let dst = self.tes[to.0 as usize].npus[0];
         // Plan the move through DistFlow (backend selection + occupancy
@@ -660,6 +967,22 @@ impl ClusterSim {
                 continue;
             };
             self.tracer.end_span(now, m.span);
+            let from_alive = self.tes[m.from.0 as usize].alive;
+            let to_alive = self.tes[m.to.0 as usize].alive;
+            if !from_alive || !to_alive {
+                // An endpoint died mid-transfer (crash not yet detected):
+                // the KV never lands. A surviving source frees its copy and
+                // the request requeues; a dead source still holds the
+                // request, so its detection drain requeues it instead
+                // (requeueing here too would double-submit).
+                self.counters.incr("sim.migrations_aborted");
+                if from_alive {
+                    self.te_mut(m.from).engine.release_migrated(now, m.new.id);
+                    self.reschedule_wake(now, m.from);
+                    self.requeue(now, m.new.id);
+                }
+                continue;
+            }
             self.te_mut(m.from).engine.release_migrated(now, m.new.id);
             let to = m.to;
             {
@@ -673,8 +996,320 @@ impl ClusterSim {
         self.schedule_fabric(now);
     }
 
+    // --- fault layer -----------------------------------------------------
+
+    fn on_fault(&mut self, now: SimTime, idx: u32) {
+        let FaultEvent { kind, .. } = self.fault_events[idx as usize];
+        match kind {
+            FaultKind::TeCrash { te } => self.on_te_crash(now, TeId(te)),
+            FaultKind::Straggler {
+                te,
+                factor,
+                duration,
+            } => {
+                let te_id = TeId(te);
+                if !self.tes[te_id.0 as usize].alive {
+                    return;
+                }
+                self.te_mut(te_id).engine.set_slowdown(factor);
+                self.counters.incr("cluster.stragglers");
+                if self.tracer.is_enabled() {
+                    self.tracer.event(
+                        now,
+                        "te.straggler",
+                        vec![("te", te.into()), ("factor", factor.into())],
+                    );
+                }
+                self.clock
+                    .schedule(now + duration, Event::StragglerEnd(te_id));
+            }
+            FaultKind::LinkDegrade { factor, duration } => {
+                self.link_degrade = Some((factor.clamp(0.01, 1.0), now + duration));
+                self.counters.incr("cluster.link_degrades");
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .event(now, "fabric.degraded", vec![("factor", factor.into())]);
+                }
+            }
+            FaultKind::TransferFlake { duration } => {
+                self.flaky_until = Some(now + duration);
+                self.counters.incr("cluster.transfer_flakes");
+                if self.tracer.is_enabled() {
+                    self.tracer.event(now, "distflow.flaky", vec![]);
+                }
+            }
+        }
+    }
+
+    /// The TE dies instantly: in-flight batches, KV cache and RTC contents
+    /// are gone. Nothing else in the platform learns about it until the
+    /// health monitor misses enough heartbeats.
+    fn on_te_crash(&mut self, now: SimTime, te_id: TeId) {
+        let te = self.te_mut(te_id);
+        if !te.alive {
+            return;
+        }
+        te.alive = false;
+        te.failed_at = Some(now);
+        te.scheduled_wake = None;
+        self.counters.incr("cluster.failures");
+        if self.tracer.is_enabled() {
+            self.tracer
+                .event(now, "te.failed", vec![("te", te_id.0.into())]);
+        }
+    }
+
+    /// Cluster-manager heartbeat sweep: live TEs beat, silent TEs accrue
+    /// misses, and TEs past the threshold enter detection + repair.
+    fn on_health_check(&mut self, now: SimTime) {
+        let Some(mut health) = self.health.take() else {
+            return;
+        };
+        for te in &self.tes {
+            if te.alive {
+                health.heartbeat(te.id, now);
+            }
+        }
+        let newly_down = health.sweep(now);
+        let interval = health.config().heartbeat_interval;
+        self.health = Some(health);
+        for te in newly_down {
+            self.on_te_detected(now, te);
+        }
+        // Keep sweeping while anything is outstanding; stop once every
+        // request terminated and no repair is in flight, so the sim ends.
+        let outstanding =
+            (self.completed + self.failed) < self.arrivals.len() as u64 || self.repairs_pending > 0;
+        if outstanding {
+            self.clock.schedule(now + interval, Event::HealthCheck);
+        }
+    }
+
+    /// The platform reacts to a detected failure: deregister the TE from
+    /// scheduling and DistFlow, abort its transfers, re-queue everything it
+    /// was holding, and kick off a replacement through the fast-scaling
+    /// pipeline.
+    fn on_te_detected(&mut self, now: SimTime, te_id: TeId) {
+        let detection_ms = {
+            let te = self.te_mut(te_id);
+            te.detected = true;
+            now.since(te.failed_at.unwrap_or(now)).as_millis_f64()
+        };
+        self.counters.incr("cluster.detected_down");
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "te.detected_down",
+                vec![
+                    ("te", te_id.0.into()),
+                    ("detection_latency_ms", detection_ms.into()),
+                ],
+            );
+        }
+        self.je.note_te_removed(te_id);
+        let head = self.tes[te_id.0 as usize].npus[0];
+        self.distflow.unlink_npu(head);
+
+        // Abort in-flight KV migrations touching the dead TE (sorted for
+        // determinism: HashMap iteration order is not stable).
+        let mut doomed: Vec<TransferId> = self
+            .in_flight_migrations
+            .iter()
+            .filter(|(_, m)| m.from == te_id || m.to == te_id)
+            .map(|(&tid, _)| tid)
+            .collect();
+        doomed.sort_unstable();
+        for tid in doomed {
+            let m = self
+                .in_flight_migrations
+                .remove(&tid)
+                .expect("doomed tid collected above");
+            self.tracer.end_span(now, m.span);
+            self.counters.incr("sim.migrations_aborted");
+            if self.tes[m.from.0 as usize].alive {
+                self.te_mut(m.from).engine.release_migrated(now, m.new.id);
+                self.reschedule_wake(now, m.from);
+                self.requeue(now, m.new.id);
+            }
+            // Dead source: the drain below requeues the request.
+        }
+
+        // Replace the engine (all KV and cache state is lost) and salvage
+        // the dead one's observability into the final report.
+        let idx = te_id.0 as usize;
+        let role = self.tes[idx].role;
+        let mut old = Self::build_engine(&self.cfg, role);
+        if let Some((level, cap)) = self.trace_cfg {
+            old.enable_tracing(level, cap);
+        }
+        std::mem::swap(&mut self.tes[idx].engine, &mut old);
+        self.tes[idx].epoch += 1;
+        self.tes[idx].scheduled_wake = None;
+        let orphans = old.active_request_ids();
+        for (k, v) in old.counters().iter() {
+            self.salvaged_counters.add(k, v);
+        }
+        for (k, v) in old.rtc().counters().iter() {
+            self.salvaged_counters.add(k, v);
+        }
+        self.tes[idx].prior_busy += old.stats().busy;
+        self.salvaged_traces
+            .push((format!("te{idx}"), old.take_trace()));
+
+        // Everything the TE was holding restarts from scratch elsewhere.
+        for id in orphans {
+            self.decode_route.remove(&id);
+            self.pending_migration.remove(&id);
+            self.migration_retry.remove(&id);
+            self.requeue(now, id);
+        }
+        self.start_repair(now, te_id);
+    }
+
+    /// Provisions a replacement TE via the 5-step fast-scaling pipeline;
+    /// the configured [`ScalingOptimizations`] decide the repair latency.
+    fn start_repair(&mut self, now: SimTime, te_id: TeId) {
+        let model = ScalingModel::new(self.cfg.cluster.clone());
+        let ckpt = Checkpoint::new(FileId(1), self.cfg.model.clone());
+        let opts = self.fault_cfg.repair;
+        let any_alive = self.tes.iter().any(|t| t.alive);
+        let path = if opts.npu_fork && any_alive {
+            // Fork weights HBM-to-HBM from a surviving replica.
+            LoadPath::NpuForkHccs { fanout: 1 }
+        } else if opts.dram_preload {
+            LoadPath::DramHit
+        } else {
+            LoadPath::DramMiss
+        };
+        let breakdown =
+            model.breakdown(&ckpt, self.cfg.parallelism, opts, path, SourceLoad::idle());
+        breakdown.emit_trace(&mut self.tracer, now);
+        self.repairs_pending += 1;
+        self.counters.incr("cluster.repairs_started");
+        self.clock
+            .schedule(now + breakdown.total(), Event::RepairDone(te_id));
+    }
+
+    fn on_repair_done(&mut self, now: SimTime, te_id: TeId) {
+        self.repairs_pending = self.repairs_pending.saturating_sub(1);
+        let failed_at = {
+            let te = self.te_mut(te_id);
+            te.alive = true;
+            te.detected = false;
+            te.failed_at.take()
+        };
+        let outage = now.since(failed_at.unwrap_or(now));
+        self.counters.incr("cluster.repaired");
+        let lat_id = self.metrics.samples("cluster.repair_latency_ms");
+        self.metrics.record(lat_id, outage.as_millis_f64());
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "te.repaired",
+                vec![
+                    ("te", te_id.0.into()),
+                    ("outage_ms", outage.as_millis_f64().into()),
+                ],
+            );
+        }
+        self.je.note_te_added(te_id);
+        if let Some(h) = self.health.as_mut() {
+            h.register(te_id, now);
+        }
+        // Re-link DistFlow over the live pool (idempotent set insertion).
+        let heads: Vec<NpuId> = self
+            .tes
+            .iter()
+            .filter(|t| t.alive)
+            .map(|t| t.npus[0])
+            .collect();
+        self.distflow.link_cluster(&heads);
+        self.reschedule_wake(now, te_id);
+    }
+
+    /// Sends a request back through the JE after capped exponential
+    /// backoff, or fails it permanently once the retry budget is spent.
+    fn requeue(&mut self, now: SimTime, id: RequestId) {
+        if self.terminal.contains(&id) {
+            return;
+        }
+        let attempts = {
+            let n = self.retries.entry(id).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if attempts > self.fault_cfg.max_retries {
+            self.note_failed(now, id, "retries_exhausted");
+            return;
+        }
+        let backoff = self
+            .fault_cfg
+            .backoff_base
+            .saturating_mul(1u64 << (attempts.min(16) - 1))
+            .min(self.fault_cfg.backoff_cap);
+        self.counters.incr("sim.requeued");
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "request.requeued",
+                vec![("req", id.0.into()), ("attempt", attempts.into())],
+            );
+        }
+        let idx = self.arrival_index[&id];
+        self.clock.schedule(now + backoff, Event::Redispatch(idx));
+    }
+
+    fn note_failed(&mut self, now: SimTime, id: RequestId, reason: &'static str) {
+        if !self.terminal.insert(id) {
+            self.counters.incr("sim.double_terminal");
+            debug_assert!(false, "request {id:?} reached a terminal state twice");
+            return;
+        }
+        self.decode_route.remove(&id);
+        self.pending_migration.remove(&id);
+        self.migration_retry.remove(&id);
+        self.failed += 1;
+        self.counters.incr("sim.failed");
+        self.last_completion = self.last_completion.max_of(now);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                now,
+                "request.failed",
+                vec![
+                    ("req", id.0.into()),
+                    ("reason", reason.into()),
+                    (
+                        "retries",
+                        self.retries.get(&id).copied().unwrap_or(0).into(),
+                    ),
+                ],
+            );
+        }
+    }
+
+    fn on_migration_retry(&mut self, now: SimTime, id: RequestId) {
+        let Some((from, kv_tokens, first_token_at)) = self.migration_retry.remove(&id) else {
+            // Already handled elsewhere (source crash drain, terminal).
+            return;
+        };
+        if self.terminal.contains(&id) || !self.tes[from.0 as usize].alive {
+            return;
+        }
+        self.start_migration(now, from, id, kv_tokens, first_token_at);
+    }
+
     /// Completed / submitted counts (for progress checks in tests).
     pub fn progress(&self) -> (u64, u64) {
         (self.completed, self.submitted)
+    }
+
+    /// Requests that failed permanently (always zero without faults).
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Whether TE `te` is currently up (for tests and benches).
+    pub fn is_alive(&self, te: TeId) -> bool {
+        self.tes[te.0 as usize].alive
     }
 }

@@ -22,7 +22,7 @@ use crate::predictor::DecodePredictor;
 use crate::prompt_tree::{GlobalPromptTree, TeId};
 use simcore::trace::{Trace, TraceLevel, Tracer};
 use simcore::{Counters, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Scheduling policy selector (the Figure 6 comparison set plus ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +129,10 @@ pub struct JobExecutor {
     /// must not pile the whole workload onto a saturated subgroup.
     pub overload_factor: f64,
     rr_cursor: usize,
+    /// TEs removed from service (failed or scaled down). Scheduling
+    /// filters these out of the caller's pool, so a stale pool snapshot
+    /// can never route to a removed TE.
+    removed: BTreeSet<TeId>,
     counters: Counters,
     tracer: Tracer,
 }
@@ -150,6 +154,7 @@ impl JobExecutor {
             balance_threshold: 4,
             overload_factor: 2.0,
             rr_cursor: 0,
+            removed: BTreeSet::new(),
             counters: Counters::new(),
             tracer: Tracer::disabled(),
         }
@@ -195,10 +200,25 @@ impl JobExecutor {
         }
     }
 
-    /// Forgets a TE (scale-down / failure).
+    /// Forgets a TE (scale-down / failure): purges its prompt-tree state
+    /// and bars it from scheduling until [`JobExecutor::note_te_added`].
     pub fn note_te_removed(&mut self, te: TeId) {
         self.tree_colocated.remove_te(te);
         self.tree_prefill.remove_te(te);
+        self.removed.insert(te);
+        self.counters.incr("je.te_removed");
+    }
+
+    /// Re-admits a TE after repair / scale-up. Its prompt trees start
+    /// empty (a replaced TE holds no cache).
+    pub fn note_te_added(&mut self, te: TeId) {
+        self.removed.remove(&te);
+        self.counters.incr("je.te_added");
+    }
+
+    /// Whether `te` is currently barred from scheduling.
+    pub fn is_removed(&self, te: TeId) -> bool {
+        self.removed.contains(&te)
     }
 
     /// Algorithm 1 entry point.
@@ -207,6 +227,29 @@ impl JobExecutor {
     ///
     /// Panics if the pool is empty.
     pub fn schedule(&mut self, now: SimTime, req: &ApiRequest, pool: &SchedPool) -> Decision {
+        // Filter removed TEs out of the caller's (possibly stale) pool
+        // snapshot so scheduling can never return a dead target.
+        let filtered;
+        let pool = if self.removed.is_empty() {
+            pool
+        } else {
+            filtered = SchedPool {
+                colocated: pool
+                    .colocated
+                    .iter()
+                    .copied()
+                    .filter(|t| !self.removed.contains(t))
+                    .collect(),
+                pairs: pool
+                    .pairs
+                    .iter()
+                    .copied()
+                    .filter(|(p, d)| !self.removed.contains(p) && !self.removed.contains(d))
+                    .collect(),
+                loads: pool.loads.clone(),
+            };
+            &filtered
+        };
         assert!(
             !pool.colocated.is_empty() || !pool.pairs.is_empty(),
             "dist_sched: empty TE pool"
@@ -655,6 +698,70 @@ mod tests {
         assert!(d.heat > 0.0);
         assert!(matches!(d.target, Target::Colocated(_)));
         assert_eq!(j.counters().get("je.heatmap_overridden"), 1);
+    }
+
+    #[test]
+    fn removed_te_never_scheduled_from_stale_pool() {
+        for policy in [
+            Policy::RoundRobin,
+            Policy::LoadAware,
+            Policy::LocalityAware,
+            Policy::PdAware,
+            Policy::Combined,
+        ] {
+            let mut j = je(policy);
+            // Stale pool still lists TE 0 and the (2, 3) pair; TE 0 and the
+            // pair's decode half are removed. Make removed TEs look idle so
+            // load-based policies would otherwise pick them.
+            let mut pool = pool_2c_1pair();
+            pool.loads.insert(TeId(1), TeSnapshot { load: 50 });
+            j.note_cached(SimTime::ZERO, TeId(0), false, &req(9, 5, 512, 64).prompt);
+            j.note_te_removed(TeId(0));
+            j.note_te_removed(TeId(3));
+            for i in 0..20 {
+                let d = j.schedule(SimTime::ZERO, &req(i, 5, 512, 64), &pool);
+                match d.target {
+                    Target::Colocated(te) => {
+                        assert_ne!(te, TeId(0), "{policy:?} routed to removed TE")
+                    }
+                    Target::Disaggregated { prefill, decode } => panic!(
+                        "{policy:?} routed to pair ({prefill:?}, {decode:?}) with removed decode"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn readded_te_is_schedulable_again() {
+        let mut j = je(Policy::LoadAware);
+        let mut pool = pool_2c_1pair();
+        pool.loads.insert(TeId(1), TeSnapshot { load: 50 });
+        pool.loads.insert(TeId(2), TeSnapshot { load: 50 });
+        pool.loads.insert(TeId(3), TeSnapshot { load: 50 });
+        j.note_te_removed(TeId(0));
+        assert!(j.is_removed(TeId(0)));
+        let d = j.schedule(SimTime::ZERO, &req(1, 1, 512, 64), &pool);
+        assert_ne!(d.target, Target::Colocated(TeId(0)));
+        j.note_te_added(TeId(0));
+        assert!(!j.is_removed(TeId(0)));
+        let d2 = j.schedule(SimTime::ZERO, &req(2, 1, 512, 64), &pool);
+        assert_eq!(
+            d2.target,
+            Target::Colocated(TeId(0)),
+            "idle again after re-add"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty TE pool")]
+    fn all_tes_removed_panics_like_empty_pool() {
+        let mut j = je(Policy::Combined);
+        let pool = pool_2c_1pair();
+        for t in [0, 1, 2, 3] {
+            j.note_te_removed(TeId(t));
+        }
+        j.schedule(SimTime::ZERO, &req(1, 1, 100, 10), &pool);
     }
 
     #[test]

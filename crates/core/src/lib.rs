@@ -31,11 +31,12 @@ pub mod prompt_tree;
 pub mod scaling;
 
 pub use api::{materialize, materialize_trace, ApiRequest, Endpoint, Job, JobKind, Slo, TaskKind};
-pub use cluster::{ClusterConfig, ClusterSim, RunReport, TeRole};
+pub use cluster::{ClusterConfig, ClusterSim, FaultRecoveryConfig, RunReport, TeRole};
 pub use heatmap::Heatmap;
 pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 pub use manager::{
-    AutoscaleSignal, Autoscaler, AutoscalerConfig, PodPool, PreloadManager, ScaleAction, TePool,
+    AutoscaleSignal, Autoscaler, AutoscalerConfig, HealthConfig, HealthMonitor, PodPool,
+    PreloadManager, ScaleAction, TePool,
 };
 pub use predictor::{Constant, DecodePredictor, FixedAccuracy, Oracle};
 pub use prompt_tree::{GlobalPromptTree, TeId};

@@ -7,11 +7,12 @@
 //! scale, which resources a scale-up can grab warm, and which checkpoints
 //! to keep hot in each server's page cache.
 
+use crate::prompt_tree::TeId;
 use llm_model::Checkpoint;
 use npu::pagecache::PageCache;
 use serde::Serialize;
 use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Pool of pre-warmed pods (workload-independent, infra-managed; §6.1
 /// "usually managed by the infrastructure layer, such as Kubernetes, and
@@ -159,6 +160,103 @@ impl PreloadManager {
 impl Default for PreloadManager {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Health-monitoring thresholds (the cluster manager's HA loop: "oversees
+/// ... all JEs and TEs").
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HealthConfig {
+    /// How often TEs heartbeat and the manager sweeps.
+    pub heartbeat_interval: SimDuration,
+    /// Consecutive missed heartbeats before a TE is declared down.
+    pub miss_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            heartbeat_interval: SimDuration::from_millis(500),
+            miss_threshold: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Time from a silent TE's last heartbeat to detection.
+    pub fn detection_timeout(&self) -> SimDuration {
+        self.heartbeat_interval
+            .saturating_mul(self.miss_threshold as u64)
+    }
+}
+
+/// Heartbeat bookkeeping: which TEs are alive, when each last reported,
+/// and which have been declared down. Deterministic by construction
+/// (BTree-ordered state, sorted sweep results).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    last_beat: BTreeMap<TeId, SimTime>,
+    down: BTreeSet<TeId>,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with no registered TEs.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            last_beat: BTreeMap::new(),
+            down: BTreeSet::new(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Starts (or resumes, after repair) tracking a TE; counts as a
+    /// heartbeat at `now`.
+    pub fn register(&mut self, te: TeId, now: SimTime) {
+        self.last_beat.insert(te, now);
+        self.down.remove(&te);
+    }
+
+    /// Stops tracking a TE entirely (scale-down).
+    pub fn deregister(&mut self, te: TeId) {
+        self.last_beat.remove(&te);
+        self.down.remove(&te);
+    }
+
+    /// Records a heartbeat from a live TE.
+    pub fn heartbeat(&mut self, te: TeId, now: SimTime) {
+        if let Some(last) = self.last_beat.get_mut(&te) {
+            *last = (*last).max(now);
+        }
+    }
+
+    /// Whether `te` has been declared down (and not re-registered since).
+    pub fn is_down(&self, te: TeId) -> bool {
+        self.down.contains(&te)
+    }
+
+    /// Sweeps for TEs whose last heartbeat is at least the detection
+    /// timeout ago. Newly detected TEs are marked down and returned in id
+    /// order; already-down TEs are not re-reported.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<TeId> {
+        let timeout = self.cfg.detection_timeout();
+        let mut newly_down = Vec::new();
+        for (&te, &last) in &self.last_beat {
+            // Deadline form (`last + timeout`) rather than `now - last`:
+            // a beat stamped ahead of `now` must not underflow the sweep.
+            if !self.down.contains(&te) && last + timeout <= now {
+                newly_down.push(te);
+            }
+        }
+        for &te in &newly_down {
+            self.down.insert(te);
+        }
+        newly_down
     }
 }
 
@@ -412,6 +510,53 @@ mod tests {
             slo_violation_rate: 0.0,
         };
         assert_eq!(a.decide(SimTime::from_secs(100), s2), None);
+    }
+
+    #[test]
+    fn health_monitor_detects_silent_te_once() {
+        let cfg = HealthConfig {
+            heartbeat_interval: SimDuration::from_secs(1),
+            miss_threshold: 3,
+        };
+        let mut hm = HealthMonitor::new(cfg);
+        hm.register(TeId(0), SimTime::ZERO);
+        hm.register(TeId(1), SimTime::ZERO);
+        // TE 1 keeps beating; TE 0 goes silent.
+        for s in 1..=3 {
+            hm.heartbeat(TeId(1), SimTime::from_secs(s));
+        }
+        assert_eq!(hm.sweep(SimTime::from_secs(2)), vec![], "within timeout");
+        assert_eq!(hm.sweep(SimTime::from_secs(3)), vec![TeId(0)]);
+        assert!(hm.is_down(TeId(0)));
+        assert!(!hm.is_down(TeId(1)));
+        assert_eq!(
+            hm.sweep(SimTime::from_secs(10)),
+            vec![TeId(1)],
+            "no re-report of TE 0"
+        );
+    }
+
+    #[test]
+    fn health_monitor_reregister_resumes_tracking() {
+        let mut hm = HealthMonitor::new(HealthConfig::default());
+        hm.register(TeId(0), SimTime::ZERO);
+        let t = SimTime::ZERO + hm.config().detection_timeout();
+        assert_eq!(hm.sweep(t), vec![TeId(0)]);
+        // Repair: re-register. The TE is healthy again until it goes silent.
+        hm.register(TeId(0), t);
+        assert!(!hm.is_down(TeId(0)));
+        assert_eq!(hm.sweep(t), vec![]);
+        assert_eq!(hm.sweep(t + hm.config().detection_timeout()), vec![TeId(0)]);
+    }
+
+    #[test]
+    fn health_monitor_ignores_unregistered_heartbeats() {
+        let mut hm = HealthMonitor::new(HealthConfig::default());
+        hm.heartbeat(TeId(7), SimTime::from_secs(1));
+        assert_eq!(hm.sweep(SimTime::from_secs(100)), vec![]);
+        hm.register(TeId(2), SimTime::ZERO);
+        hm.deregister(TeId(2));
+        assert_eq!(hm.sweep(SimTime::from_secs(100)), vec![]);
     }
 
     #[test]

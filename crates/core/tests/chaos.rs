@@ -1,0 +1,105 @@
+//! Chaos suite: under *arbitrary* generated fault plans, every request must
+//! terminate exactly once — finished, or failed-with-reason after retry
+//! exhaustion. No hangs, no double-finishes, no lost requests.
+//!
+//! The driver's conservation invariant is `completed + failed == submitted`
+//! with `sim.double_terminal == 0`; `run_to_completion` returning at all is
+//! the no-hang half (a livelock trips the sim's event budget).
+//!
+//! CI runs this suite over a matrix of `CHAOS_SEED` values; the seed is
+//! mixed into the workload generator so each matrix entry explores a
+//! different deterministic slice of (workload x fault-plan) space.
+
+use deepserve::{
+    materialize_trace, ClusterConfig, ClusterSim, FaultRecoveryConfig, Policy, TeRole,
+};
+use proptest::prelude::*;
+use simcore::{FaultKind, FaultPlan, SimDuration, SimRng, SimTime};
+use workloads::ChatTrace;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Mixed pool: two colocated TEs plus one disaggregated pair, so plans hit
+/// every recovery path (colocated re-dispatch, migration aborts, pair loss).
+const ROLES: [TeRole; 4] = [
+    TeRole::Colocated,
+    TeRole::Colocated,
+    TeRole::Prefill,
+    TeRole::Decode,
+];
+
+proptest! {
+    #[test]
+    fn every_request_terminates_exactly_once(
+        workload_salt in 0u64..1_000,
+        rps_x10 in 5u64..30,
+        crashes in prop::collection::vec((0u32..4, 500u64..25_000), 0..3),
+        stragglers in prop::collection::vec(
+            (0u32..4, 0u64..15_000, 1.5f64..6.0, 1_000u64..10_000), 0..2),
+        degrades in prop::collection::vec(
+            (0.05f64..0.9, 0u64..15_000, 1_000u64..10_000), 0..2),
+        flakes in prop::collection::vec((0u64..15_000, 500u64..5_000), 0..2),
+    ) {
+        let mut plan = FaultPlan::none();
+        for &(te, at) in &crashes {
+            plan.push(SimTime::from_millis(at), FaultKind::TeCrash { te });
+        }
+        for &(te, at, factor, dur) in &stragglers {
+            plan.push(
+                SimTime::from_millis(at),
+                FaultKind::Straggler { te, factor, duration: SimDuration::from_millis(dur) },
+            );
+        }
+        for &(factor, at, dur) in &degrades {
+            plan.push(
+                SimTime::from_millis(at),
+                FaultKind::LinkDegrade { factor, duration: SimDuration::from_millis(dur) },
+            );
+        }
+        for &(at, dur) in &flakes {
+            plan.push(
+                SimTime::from_millis(at),
+                FaultKind::TransferFlake { duration: SimDuration::from_millis(dur) },
+            );
+        }
+
+        let mut rng = SimRng::seed_from_u64(
+            chaos_seed().wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ workload_salt,
+        );
+        let reqs = materialize_trace(
+            &ChatTrace::paper(rps_x10 as f64 / 10.0).generate(&mut rng, 24),
+            64_000,
+        );
+        let expected = reqs.len() as u64;
+
+        let cfg = ClusterConfig {
+            policy: Policy::Combined,
+            ..ClusterConfig::standard_34b()
+        };
+        let mut sim = ClusterSim::new(cfg, &ROLES);
+        sim.inject(reqs);
+        sim.install_faults(&plan, FaultRecoveryConfig::default());
+        let report = sim.run_to_completion();
+
+        let (done, sub) = sim.progress();
+        prop_assert_eq!(sub, expected);
+        // Conservation: every request reaches exactly one terminal state.
+        prop_assert_eq!(done + sim.failed(), sub);
+        prop_assert_eq!(report.counters.get("sim.double_terminal"), 0);
+        prop_assert_eq!(report.latency.completed(), done);
+        prop_assert_eq!(report.counters.get("sim.completed"), done);
+        prop_assert_eq!(report.counters.get("sim.failed"), sim.failed());
+        prop_assert_eq!(report.failed, sim.failed());
+        // Detection/repair bookkeeping balances: each detection starts
+        // exactly one repair.
+        prop_assert_eq!(
+            report.counters.get("cluster.detected_down"),
+            report.counters.get("cluster.repairs_started")
+        );
+    }
+}

@@ -6,8 +6,10 @@
 
 use std::collections::BTreeMap;
 
-use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
-use simcore::{Samples, SimDuration, SimRng, SimTime, TraceLevel};
+use deepserve::{
+    materialize_trace, ClusterConfig, ClusterSim, FaultRecoveryConfig, Policy, TeRole,
+};
+use simcore::{FaultPlan, Samples, SimDuration, SimRng, SimTime, TraceLevel};
 use workloads::ChatTrace;
 
 fn close(a: f64, b: f64) -> bool {
@@ -129,4 +131,109 @@ fn tracing_does_not_perturb_the_simulation() {
         )
     };
     assert_eq!(run(false), run(true));
+}
+
+/// A faulted cluster with a crash plan installed.
+fn faulted_sim() -> ClusterSim {
+    let mut rng = SimRng::seed_from_u64(13);
+    let reqs = materialize_trace(&ChatTrace::paper(1.5).generate(&mut rng, 50), 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let plan = FaultPlan::none()
+        .with_crash(SimTime::from_secs(6), 0)
+        .with_straggler(SimTime::from_secs(2), 1, 3.0, SimDuration::from_secs(5))
+        .with_transfer_flake(SimTime::from_secs(1), SimDuration::from_secs(3));
+    let roles = [TeRole::Colocated, TeRole::Colocated, TeRole::Colocated];
+    let mut sim = ClusterSim::new(cfg, &roles);
+    sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+    sim.inject(reqs);
+    sim.install_faults(&plan, FaultRecoveryConfig::default());
+    sim
+}
+
+/// The determinism contract extends to faulted runs: the same
+/// `(workload seed, fault plan)` must replay to byte-identical report JSON
+/// and trace JSON, crashes and all.
+#[test]
+fn faulted_replay_is_bit_identical() {
+    let go = || {
+        let mut sim = faulted_sim();
+        let mut report = sim.run_to_completion();
+        assert!(
+            report.counters.get("cluster.failures") >= 1,
+            "the plan must actually crash something"
+        );
+        (report.to_json().to_json(), report.trace.to_json().to_json())
+    };
+    assert_eq!(go(), go());
+}
+
+/// Trace/report consistency holds through re-queues: a request that was
+/// re-dispatched after a crash emits a *new* `request.first_token` from the
+/// attempt that completed it, so rebuilding TTFT/TPOT with last-wins
+/// first-token events must still match the report percentiles.
+#[test]
+fn faulted_trace_reconstructs_report_latency() {
+    let mut sim = faulted_sim();
+    let mut report = sim.run_to_completion();
+    assert_eq!(report.trace.dropped, 0);
+    let (done, sub) = sim.progress();
+    assert_eq!(done + sim.failed(), sub);
+    assert!(
+        report.counters.get("sim.requeued") >= 1,
+        "the crash must hit at least one in-flight request"
+    );
+
+    let mut arrival: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut first_token: BTreeMap<u64, SimTime> = BTreeMap::new();
+    let mut finished: BTreeMap<u64, (SimTime, u64)> = BTreeMap::new();
+    for e in report.trace.events_labeled("arrival") {
+        let req = e.attr_u64("req").expect("arrival carries req");
+        assert!(arrival.insert(req, e.at).is_none(), "duplicate arrival");
+    }
+    for e in report.trace.events_labeled("request.first_token") {
+        let req = e.attr_u64("req").expect("first_token carries req");
+        // Last-wins: a crashed attempt's first token is superseded by the
+        // re-prefilled attempt that actually delivered the stream.
+        let latest = first_token.entry(req).or_insert(e.at);
+        *latest = (*latest).max(e.at);
+    }
+    for e in report.trace.events_labeled("request.finished") {
+        let req = e.attr_u64("req").expect("finished carries req");
+        let out = e.attr_u64("output_tokens").expect("finished carries count");
+        assert!(
+            finished.insert(req, (e.at, out)).is_none(),
+            "a request must finish at most once, even when requeued"
+        );
+    }
+    assert_eq!(finished.len() as u64, report.latency.completed());
+    let failed_events = report.trace.events_labeled("request.failed").count() as u64;
+    assert_eq!(
+        failed_events, report.failed,
+        "one failure event per failure"
+    );
+
+    let mut ttft = Samples::default();
+    let mut tpot = Samples::default();
+    for (req, &(end, out)) in &finished {
+        let t0 = arrival[req];
+        let t1 = first_token[req];
+        assert!(t0 <= t1 && t1 <= end, "lifecycle order for req {req}");
+        ttft.record(t1.since(t0).as_millis_f64());
+        let gap = if out > 1 {
+            SimDuration::from_nanos(end.since(t1).as_nanos() / (out - 1))
+        } else {
+            SimDuration::ZERO
+        };
+        tpot.record(gap.as_millis_f64());
+    }
+    let (rt, tt) = (ttft.summary(), tpot.summary());
+    let (rr, tr) = (report.latency.ttft_ms(), report.latency.tpot_ms());
+    assert_eq!(rt.count, rr.count);
+    assert!(close(rt.p50, rr.p50), "ttft p50 {} vs {}", rt.p50, rr.p50);
+    assert!(close(rt.p99, rr.p99), "ttft p99 {} vs {}", rt.p99, rr.p99);
+    assert!(close(tt.p50, tr.p50), "tpot p50 {} vs {}", tt.p50, tr.p50);
+    assert!(close(tt.p99, tr.p99), "tpot p99 {} vs {}", tt.p99, tr.p99);
 }

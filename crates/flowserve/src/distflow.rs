@@ -164,6 +164,17 @@ impl DistFlow {
         a == b || self.links.contains(&pair(a, b))
     }
 
+    /// Control plane: tears down every link touching `npu` (TE failure /
+    /// deregistration). Re-linking after repair is `link_cluster` again —
+    /// link establishment is idempotent set insertion.
+    pub fn unlink_npu(&mut self, npu: NpuId) {
+        let before = self.links.len();
+        self.links.retain(|&(a, b)| a != npu && b != npu);
+        if self.links.len() != before {
+            self.counters.incr("distflow.unlink_npu");
+        }
+    }
+
     /// Data plane: plans `transfer(srcInfo, dstInfo)`. Validates the link
     /// and sizes, picks a backend by topology, and returns the plan for the
     /// clock owner to execute.

@@ -140,6 +140,8 @@ pub struct Engine {
     tracer: Tracer,
     /// Open per-request lifecycle spans (only populated while tracing).
     req_spans: HashMap<RequestId, SpanId>,
+    /// Iteration wall-time multiplier (1.0 = healthy; > 1.0 = straggler).
+    slowdown: f64,
 }
 
 impl Engine {
@@ -168,6 +170,7 @@ impl Engine {
             counters: Counters::new(),
             tracer: Tracer::disabled(),
             req_spans: HashMap::new(),
+            slowdown: 1.0,
         }
     }
 
@@ -234,6 +237,21 @@ impl Engine {
     /// Sum of KV tokens currently held (proxy for memory pressure).
     pub fn kv_tokens_held(&self) -> usize {
         self.requests.values().map(|r| r.table.tokens()).sum()
+    }
+
+    /// Sets the iteration wall-time multiplier (fault injection: a
+    /// straggling TE). 1.0 restores healthy speed; values are clamped to
+    /// at least 0.01 so a bad factor cannot make time run backwards.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = factor.max(0.01);
+    }
+
+    /// Every request the engine is currently responsible for, in id order
+    /// (deterministic). Used by the platform to drain a crashed TE.
+    pub fn active_request_ids(&self) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self.requests.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     // ---- Submission ----
@@ -576,11 +594,15 @@ impl Engine {
         let npu = self.cost.step_time(&work);
         let seqs = decode_ids.len() + prefill_parts.len();
         let (overlap, residual) = self.cfg.version.cpu_costs(seqs.max(1));
-        let wall = if self.cfg.version.async_sched {
+        let mut wall = if self.cfg.version.async_sched {
             SimDuration::from_secs_f64(npu.as_secs_f64().max(overlap) + residual)
         } else {
             npu + SimDuration::from_secs_f64(overlap + residual)
         };
+        // Guarded so the float round-trip cannot perturb healthy runs.
+        if self.slowdown != 1.0 {
+            wall = wall.mul_f64(self.slowdown);
+        }
         self.stats.iterations += 1;
         self.stats.busy += wall;
         let span = if self.tracer.is_enabled() {

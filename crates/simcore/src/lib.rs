@@ -16,12 +16,16 @@
 //!   RoCE and SSD models.
 //! * [`trace`] — sim-time spans and events ([`Tracer`], [`Trace`]):
 //!   ring-buffered, mergeable across components, zero-cost when disabled.
+//! * [`fault`] — seeded, replayable fault schedules ([`FaultPlan`]): TE
+//!   crashes, stragglers, link degradation and transfer flakes, injected
+//!   as ordinary events so faulted runs stay bit-for-bit deterministic.
 //!
 //! Design rule: **no wall-clock time, no global state, no threads.** A
 //! simulation is an ordinary value you step; determinism comes from integer
 //! time, ordered queues and seeded RNG streams, not from locking.
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
@@ -29,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{Clock, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{
     Counters, LatencyStats, MetricId, MetricsRegistry, RequestLatency, Samples, Summary, TimeSeries,
 };
