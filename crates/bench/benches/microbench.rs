@@ -202,6 +202,69 @@ fn bench_engine_step(c: &mut Criterion) {
     });
 }
 
+/// Builds an engine sitting in steady-state decode: `n_req` small prompts
+/// all past prefill, KV sized to ~60% of capacity so the measured loop
+/// never hits swap or preemption.
+fn saturated_decode_engine(n_req: u64) -> (flowserve::Engine, SimTime) {
+    use flowserve::{NewRequest, RequestId};
+    let mut engine = engine_34b();
+    let cap = engine.cost_model().kv_capacity_tokens(0.1);
+    let target_output = (cap as f64 * 0.6 / n_req as f64) as u32 - 128;
+    for i in 0..n_req {
+        engine.submit(
+            SimTime::ZERO,
+            NewRequest {
+                id: RequestId(i),
+                prompt: synthetic_tokens(i, 128, 64_000),
+                target_output,
+                arrival: SimTime::ZERO,
+                cache_id: None,
+            },
+        );
+    }
+    // Drain every prefill chunk (n_req * 128 tokens / 512-token budget),
+    // leaving a pure decode batch.
+    let mut now = SimTime::ZERO;
+    for _ in 0..(n_req * 128 / 512 + 8) {
+        let Some(wake) = engine.next_wake(now) else {
+            break;
+        };
+        now = wake;
+        engine.advance(now);
+    }
+    (engine, now)
+}
+
+/// The hot-path allocation purge's acceptance bench: one single-step
+/// `Engine::advance` on a saturated 64-sequence decode batch (completes an
+/// iteration, re-forms the batch, starts the next). Compare before/after
+/// the scratch-buffer rework of `form_batch`.
+fn bench_engine_decode_advance(c: &mut Criterion) {
+    use flowserve::Pacing;
+    c.bench_function("engine/advance_decode64_single_step", |b| {
+        let (mut engine, mut now) = saturated_decode_engine(64);
+        // The cluster's hot path: `advance_paced` with a reused event
+        // buffer (the plain `advance` wrapper allocates a Vec per call).
+        let mut events = Vec::new();
+        b.iter(|| {
+            match engine.next_wake(now) {
+                Some(wake) => {
+                    now = wake;
+                    events.clear();
+                    engine.advance_paced(now, Pacing::SingleStep, &mut events);
+                    black_box(events.len());
+                }
+                None => {
+                    // Batch drained (setup amortized over ~100k advances).
+                    let fresh = saturated_decode_engine(64);
+                    engine = fresh.0;
+                    now = fresh.1;
+                }
+            }
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -211,6 +274,7 @@ criterion_group!(
     bench_prompt_tree,
     bench_heatmap,
     bench_shared_link,
-    bench_engine_step
+    bench_engine_step,
+    bench_engine_decode_advance
 );
 criterion_main!(benches);

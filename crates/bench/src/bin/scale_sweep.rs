@@ -1,0 +1,254 @@
+//! Scale sweep: decode fast-forward (macro-stepping) vs single-stepping.
+//!
+//! Sweeps (TEs x requests x output length) on decode-heavy fixed-shape
+//! workloads and runs every configuration twice — once with the cluster's
+//! default macro-stepping pacing, once forced to the classic one-wake-per-
+//! iteration loop — recording wall-clock, simulator events processed, and
+//! throughput. Each pair is also checked for bit-identical `RunReport`s,
+//! so the sweep doubles as an end-to-end equivalence test at scale.
+//!
+//! Reported throughput is *logical iterations per wall-clock second*: the
+//! logical iteration count is invariant under fast-forward (the macro-step
+//! commits the same per-iteration work), so the ratio of the two modes'
+//! rates equals the wall-clock speedup. Raw events/sec is reported too,
+//! but note fast-forward *shrinks* the event count by design.
+//!
+//! Run: `cargo run --release -p deepserve-bench --bin scale_sweep`
+//! CI:  `cargo run --release -p deepserve-bench --bin scale_sweep -- --smoke`
+//!
+//! `--smoke` runs one small configuration and exits non-zero unless
+//! fast-forward achieves at least the single-step iteration rate.
+//! A full run also snapshots the results to `BENCH_scale.json` at the
+//! repo root (next to `Cargo.toml`) to track the perf trajectory.
+
+use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
+use deepserve_bench::{header, write_json};
+use npu::specs::ClusterSpec;
+use serde::Serialize;
+use simcore::SimRng;
+use std::time::Instant;
+use workloads::FixedShape;
+
+const PREFILL_TOKENS: usize = 128;
+
+/// One (configuration, pacing mode) measurement.
+#[derive(Serialize)]
+struct Row {
+    tes: usize,
+    requests: usize,
+    output_tokens: u32,
+    mode: &'static str,
+    wall_ms: f64,
+    events_processed: u64,
+    sim_iterations: u64,
+    ff_windows: u64,
+    ff_iterations: u64,
+    /// Logical iterations retired per wall-clock second (mode-invariant
+    /// numerator — the honest throughput metric).
+    iters_per_sec: f64,
+    /// Raw simulator events per wall-clock second.
+    events_per_sec: f64,
+    makespan_s: f64,
+    completed: usize,
+}
+
+/// Per-configuration comparison of the two modes.
+#[derive(Serialize)]
+struct Pair {
+    tes: usize,
+    requests: usize,
+    output_tokens: u32,
+    speedup_wall: f64,
+    event_reduction: f64,
+    reports_identical: bool,
+}
+
+struct RunOut {
+    row: Row,
+    report_json: String,
+}
+
+fn run_one(
+    servers: usize,
+    tes: usize,
+    requests: usize,
+    output_tokens: u32,
+    fast_forward: bool,
+) -> RunOut {
+    // Decode-heavy fixed shape: small distinct prompts, long outputs, and
+    // near-burst arrivals (the whole trace lands within ~1 simulated
+    // second) so the run is dominated by steady decode, not admission.
+    let shape = FixedShape {
+        prefill: PREFILL_TOKENS,
+        decode: output_tokens,
+        rps: 256.0 * tes as f64,
+        count: requests,
+    };
+    let mut rng = SimRng::seed_from_u64(42);
+    let trace = shape.generate(&mut rng);
+    let cfg = ClusterConfig {
+        cluster: ClusterSpec::gen2_cluster(servers),
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let roles = vec![TeRole::Colocated; tes];
+    let mut sim = ClusterSim::new(cfg, &roles);
+    sim.set_fast_forward(fast_forward);
+    sim.inject(materialize_trace(&trace, 64_000));
+    let start = Instant::now();
+    let mut report = sim.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    let stats = sim.engine_stats_total();
+    let row = Row {
+        tes,
+        requests,
+        output_tokens,
+        mode: if fast_forward {
+            "fast_forward"
+        } else {
+            "single_step"
+        },
+        wall_ms: wall * 1e3,
+        events_processed: events,
+        sim_iterations: stats.iterations,
+        ff_windows: stats.ff_windows,
+        ff_iterations: stats.ff_iterations,
+        iters_per_sec: stats.iterations as f64 / wall,
+        events_per_sec: events as f64 / wall,
+        makespan_s: report.makespan.as_secs_f64(),
+        completed: report.latency.completed() as usize,
+    };
+    RunOut {
+        row,
+        report_json: report.to_json().to_json(),
+    }
+}
+
+/// Timing repetitions per (config, mode); best-of-N absorbs scheduler and
+/// allocator noise. The simulation itself is deterministic, so every rep
+/// produces the identical report — only wall-clock varies.
+const REPS: usize = 3;
+
+fn run_pair(servers: usize, tes: usize, requests: usize, output_tokens: u32) -> (Row, Row, Pair) {
+    let mut ss = run_one(servers, tes, requests, output_tokens, false);
+    let mut ff = run_one(servers, tes, requests, output_tokens, true);
+    for _ in 1..REPS {
+        let s = run_one(servers, tes, requests, output_tokens, false);
+        if s.row.wall_ms < ss.row.wall_ms {
+            ss.row = s.row;
+        }
+        let f = run_one(servers, tes, requests, output_tokens, true);
+        if f.row.wall_ms < ff.row.wall_ms {
+            ff.row = f.row;
+        }
+    }
+    let pair = Pair {
+        tes,
+        requests,
+        output_tokens,
+        speedup_wall: ss.row.wall_ms / ff.row.wall_ms,
+        event_reduction: ss.row.events_processed as f64 / ff.row.events_processed as f64,
+        reports_identical: ss.report_json == ff.report_json,
+    };
+    (ss.row, ff.row, pair)
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>4} {:>6} {:>5} {:>13} {:>10.1} {:>12} {:>12} {:>12.0} {:>10.1}",
+        r.tes,
+        r.requests,
+        r.output_tokens,
+        r.mode,
+        r.wall_ms,
+        r.events_processed,
+        r.sim_iterations,
+        r.iters_per_sec,
+        r.makespan_s
+    );
+}
+
+#[derive(Serialize)]
+struct Sweep {
+    rows: Vec<Row>,
+    pairs: Vec<Pair>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    header(if smoke {
+        "scale_sweep --smoke: macro-stepping sanity check"
+    } else {
+        "scale_sweep: decode fast-forward vs single-step (34B TP=4, colocated)"
+    });
+    // (servers, TEs, requests, output tokens); gen2 servers hold two TP=4
+    // TEs each.
+    let grid: &[(usize, usize, usize, u32)] = if smoke {
+        &[(2, 4, 256, 256)]
+    } else {
+        &[
+            (2, 4, 256, 128),
+            (4, 8, 512, 256),
+            (8, 16, 1024, 512),
+            (16, 32, 2048, 512),
+            (16, 32, 2048, 1024),
+        ]
+    };
+    println!(
+        "{:>4} {:>6} {:>5} {:>13} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "TEs", "reqs", "out", "mode", "wall ms", "events", "iters", "iters/s", "sim s"
+    );
+    let mut rows = Vec::new();
+    let mut pairs = Vec::new();
+    for &(servers, tes, requests, output) in grid {
+        let (ss, ff, pair) = run_pair(servers, tes, requests, output);
+        print_row(&ss);
+        print_row(&ff);
+        println!(
+            "{:>31} speedup {:>5.1}x   events {:>5.1}x fewer   reports identical: {}",
+            "->", pair.speedup_wall, pair.event_reduction, pair.reports_identical
+        );
+        rows.push(ss);
+        rows.push(ff);
+        pairs.push(pair);
+    }
+
+    let all_identical = pairs.iter().all(|p| p.reports_identical);
+    let all_at_least_parity = rows
+        .chunks(2)
+        .all(|c| c[1].iters_per_sec >= c[0].iters_per_sec);
+    let sweep = Sweep { rows, pairs };
+    write_json("scale_sweep", &sweep);
+
+    if !all_identical {
+        eprintln!("FAIL: fast-forward diverged from single-step on at least one config");
+        std::process::exit(1);
+    }
+    if smoke {
+        if !all_at_least_parity {
+            eprintln!("FAIL: fast-forward below single-step iteration rate");
+            std::process::exit(1);
+        }
+        println!("\nsmoke OK: reports identical, fast-forward >= single-step iters/sec");
+        return;
+    }
+    // Full run: snapshot next to Cargo.toml for the perf trajectory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scale.json");
+    let json = serde_json::to_string_pretty(&sweep).expect("serializable sweep");
+    std::fs::write(&root, json).expect("write BENCH_scale.json");
+    println!("[snapshot written to {}]", root.display());
+    let worst = sweep
+        .pairs
+        .iter()
+        .map(|p| p.speedup_wall)
+        .fold(f64::INFINITY, f64::min);
+    let best = sweep
+        .pairs
+        .iter()
+        .map(|p| p.speedup_wall)
+        .fold(0.0, f64::max);
+    println!("\nwall-clock speedup: min {worst:.1}x, max {best:.1}x across the grid");
+}

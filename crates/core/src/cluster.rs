@@ -17,7 +17,7 @@ use crate::prompt_tree::TeId;
 use crate::scaling::{LoadPath, ScalingModel, ScalingOptimizations, SourceLoad};
 use flowserve::{
     BufferInfo, DistFlow, Engine, EngineConfig, EngineEvent, EngineMode, MemTier, NewRequest,
-    PopulateTicket, RequestId,
+    Pacing, PopulateTicket, RequestId,
 };
 use llm_model::{Checkpoint, ExecCostModel, ModelSpec, Parallelism};
 use npu::fabric::{Fabric, TransferId};
@@ -26,7 +26,7 @@ use npu::specs::{ClusterSpec, NpuId};
 use simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Role of one TE in the serving pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -206,6 +206,14 @@ impl RunReport {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_value()))
             .collect();
+        // `sim.events_processed` measures how the simulator executed (it
+        // legitimately differs between fast-forward and single-stepping),
+        // not what the simulation produced — keep it out of the
+        // replay-comparable surface.
+        let mut metrics = self.metrics.to_json();
+        if let Value::Object(entries) = &mut metrics {
+            entries.retain(|(k, _)| k != "sim.events_processed");
+        }
         Value::Object(vec![
             ("completed".to_string(), self.latency.completed().to_value()),
             ("failed".to_string(), self.failed.to_value()),
@@ -217,7 +225,7 @@ impl RunReport {
             ("tpot_ms".to_string(), self.latency.tpot_ms().to_value()),
             ("jct_ms".to_string(), self.latency.jct_ms().to_value()),
             ("counters".to_string(), Value::Object(counters)),
-            ("metrics".to_string(), self.metrics.to_json()),
+            ("metrics".to_string(), metrics),
         ])
     }
 }
@@ -247,6 +255,20 @@ pub struct ClusterSim {
     distflow: DistFlow,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    /// Drive quiescent decode engines with [`Pacing::FastForward`]
+    /// (macro-stepping). On by default; outcome is bit-identical either
+    /// way, only event counts and wall-clock change.
+    fast_forward: bool,
+    /// Multiset of pending *horizon-bounding* event times (everything but
+    /// non-prefill `Wake`s). The earliest entry is the horizon handed to
+    /// fast-forwarding engines: no absorption at or past it.
+    horizon_times: BTreeMap<SimTime, u32>,
+    /// Livelock guard: `run_to_completion` panics after this many events.
+    event_budget: u64,
+    /// Events processed across all `run_to_completion` calls.
+    events_processed: u64,
+    /// Reused engine-event buffer for `on_wake`.
+    events_scratch: Vec<EngineEvent>,
     // --- fault layer (inert until `install_faults`) ---
     fault_cfg: FaultRecoveryConfig,
     fault_events: Vec<FaultEvent>,
@@ -381,6 +403,11 @@ impl ClusterSim {
             distflow,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
+            fast_forward: true,
+            horizon_times: BTreeMap::new(),
+            event_budget: 200_000_000,
+            events_processed: 0,
+            events_scratch: Vec::new(),
             fault_cfg: FaultRecoveryConfig::default(),
             fault_events: Vec::new(),
             health: None,
@@ -444,6 +471,50 @@ impl ClusterSim {
         self.tes.iter().map(|t| (t.id, t.role)).collect()
     }
 
+    /// Disables (or re-enables) decode fast-forward. Single-stepping is the
+    /// reference execution; fast-forward must match it bit-for-bit, so this
+    /// switch exists for A/B verification and benchmarking, not for
+    /// correctness.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Replaces the default 200M-event livelock budget for
+    /// [`ClusterSim::run_to_completion`].
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Events processed so far across `run_to_completion` calls (also
+    /// surfaced as the `sim.events_processed` counter metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether `ev` bounds the fast-forward horizon. Everything external
+    /// can mutate an engine mid-window (arrivals, populates, fabric
+    /// completions, faults, repairs, health sweeps) — except non-prefill
+    /// `Wake`s, whose handlers only progress their own engine and emit
+    /// events that never touch another TE. Prefill wakes stay bounding:
+    /// a completed prefill starts a KV migration toward a decode TE.
+    fn bounds_horizon(&self, ev: Event) -> bool {
+        match ev {
+            Event::Wake(te) => self.tes[te.0 as usize].role == TeRole::Prefill,
+            _ => true,
+        }
+    }
+
+    /// Schedules `ev`, recording horizon-bounding times in the multiset
+    /// consulted by fast-forwarding engines. All event scheduling must go
+    /// through here (not `clock.schedule`) or fast-forward could absorb
+    /// past an unrecorded interaction.
+    fn sched(&mut self, at: SimTime, ev: Event) {
+        if self.bounds_horizon(ev) {
+            *self.horizon_times.entry(at).or_insert(0) += 1;
+        }
+        self.clock.schedule(at, ev);
+    }
+
     /// Queues a workload (arrivals must be time-sorted).
     ///
     /// # Panics
@@ -460,7 +531,7 @@ impl ClusterSim {
             let idx = self.arrivals.len() as u32;
             self.arrival_index.insert(r.id, idx);
             self.arrivals.push(r);
-            self.clock.schedule(at, Event::Arrival(idx));
+            self.sched(at, Event::Arrival(idx));
         }
     }
 
@@ -489,8 +560,9 @@ impl ClusterSim {
         }
         self.fault_cfg = cfg;
         self.fault_events = plan.events.clone();
-        for (i, ev) in self.fault_events.iter().enumerate() {
-            self.clock.schedule(ev.at, Event::Fault(i as u32));
+        for i in 0..self.fault_events.len() {
+            let at = self.fault_events[i].at;
+            self.sched(at, Event::Fault(i as u32));
         }
         let mut health = HealthMonitor::new(cfg.health);
         for te in &self.tes {
@@ -498,20 +570,40 @@ impl ClusterSim {
         }
         let first = SimTime::ZERO + cfg.health.heartbeat_interval;
         self.health = Some(health);
-        self.clock.schedule(first, Event::HealthCheck);
+        self.sched(first, Event::HealthCheck);
     }
 
     /// Runs until all injected requests complete (or nothing can progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than the configured event budget
+    /// ([`ClusterSim::set_event_budget`], default 200M) is processed —
+    /// almost certainly a livelock.
     pub fn run_to_completion(&mut self) -> RunReport {
-        let mut guard: u64 = 0;
+        let mut processed: u64 = 0;
         while let Some((now, ev)) = self.clock.next() {
+            if self.bounds_horizon(ev) {
+                if let Some(n) = self.horizon_times.get_mut(&now) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.horizon_times.remove(&now);
+                    }
+                }
+            }
             self.handle(now, ev);
-            guard += 1;
+            processed += 1;
             assert!(
-                guard < 200_000_000,
+                processed < self.event_budget,
                 "cluster sim exceeded event budget (livelock?)"
             );
         }
+        self.events_processed += processed;
+        // Meta-metric: measures simulator execution, not simulated outcome.
+        // `RunReport::to_json` filters it so fast-forward stays
+        // bit-comparable against single-stepping.
+        let id = self.metrics.counter("sim.events_processed");
+        self.metrics.add(id, processed);
         self.report()
     }
 
@@ -668,8 +760,7 @@ impl ClusterSim {
             // Every routable TE is detected-down; park the request until a
             // repair restores capacity.
             self.counters.incr("sim.dispatch_deferred");
-            self.clock
-                .schedule(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+            self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
             return;
         }
         let decision: Decision = self.je.schedule(now, &req, &pool);
@@ -713,8 +804,7 @@ impl ClusterSim {
             let te = self.te_mut(te_id);
             let done = te.pcie.enqueue(now, bytes);
             let epoch = te.epoch;
-            self.clock
-                .schedule(done, Event::Populate(te_id, epoch, p.ticket));
+            self.sched(done, Event::Populate(te_id, epoch, p.ticket));
             let _ = world;
         }
         self.reschedule_wake(now, te_id);
@@ -735,7 +825,7 @@ impl ClusterSim {
             return;
         }
         te.scheduled_wake = Some(wake);
-        self.clock.schedule(wake.max_of(now), Event::Wake(te_id));
+        self.sched(wake.max_of(now), Event::Wake(te_id));
     }
 
     fn on_wake(&mut self, now: SimTime, te_id: TeId) {
@@ -745,17 +835,32 @@ impl ClusterSim {
         }
         {
             let te = self.te_mut(te_id);
-            if te.scheduled_wake == Some(now) {
-                te.scheduled_wake = None;
+            match te.scheduled_wake {
+                Some(w) if w == now => te.scheduled_wake = None,
+                // Superseded wake: a later reschedule moved this TE's next
+                // deadline past `now` (fast-forward pushing `ends_at` out),
+                // so the engine provably has nothing to do yet.
+                Some(w) if w > now => return,
+                _ => {}
             }
         }
-        let events = {
-            let te = self.te_mut(te_id);
-            te.engine.advance(now)
+        let pacing = if self.fast_forward {
+            Pacing::FastForward {
+                horizon: self.horizon_times.keys().next().copied(),
+            }
+        } else {
+            Pacing::SingleStep
         };
-        for ev in events {
+        let mut events = std::mem::take(&mut self.events_scratch);
+        events.clear();
+        {
+            let te = self.te_mut(te_id);
+            te.engine.advance_paced(now, pacing, &mut events);
+        }
+        for ev in events.drain(..) {
             self.on_engine_event(now, te_id, ev);
         }
+        self.events_scratch = events;
         self.reschedule_wake(now, te_id);
     }
 
@@ -844,8 +949,7 @@ impl ClusterSim {
                 }
                 self.migration_retry
                     .insert(id, (from, kv_tokens, first_token_at));
-                self.clock
-                    .schedule(now + self.fault_cfg.backoff_base, Event::MigrationRetry(id));
+                self.sched(now + self.fault_cfg.backoff_base, Event::MigrationRetry(id));
                 return;
             }
         }
@@ -954,7 +1058,7 @@ impl ClusterSim {
             return;
         }
         self.fabric_wake = Some(next);
-        self.clock.schedule(next.max_of(now), Event::FabricAdvance);
+        self.sched(next.max_of(now), Event::FabricAdvance);
     }
 
     fn on_fabric(&mut self, now: SimTime) {
@@ -1020,8 +1124,7 @@ impl ClusterSim {
                         vec![("te", te.into()), ("factor", factor.into())],
                     );
                 }
-                self.clock
-                    .schedule(now + duration, Event::StragglerEnd(te_id));
+                self.sched(now + duration, Event::StragglerEnd(te_id));
             }
             FaultKind::LinkDegrade { factor, duration } => {
                 self.link_degrade = Some((factor.clamp(0.01, 1.0), now + duration));
@@ -1081,7 +1184,7 @@ impl ClusterSim {
         let outstanding =
             (self.completed + self.failed) < self.arrivals.len() as u64 || self.repairs_pending > 0;
         if outstanding {
-            self.clock.schedule(now + interval, Event::HealthCheck);
+            self.sched(now + interval, Event::HealthCheck);
         }
     }
 
@@ -1186,8 +1289,7 @@ impl ClusterSim {
         breakdown.emit_trace(&mut self.tracer, now);
         self.repairs_pending += 1;
         self.counters.incr("cluster.repairs_started");
-        self.clock
-            .schedule(now + breakdown.total(), Event::RepairDone(te_id));
+        self.sched(now + breakdown.total(), Event::RepairDone(te_id));
     }
 
     fn on_repair_done(&mut self, now: SimTime, te_id: TeId) {
@@ -1256,7 +1358,7 @@ impl ClusterSim {
             );
         }
         let idx = self.arrival_index[&id];
-        self.clock.schedule(now + backoff, Event::Redispatch(idx));
+        self.sched(now + backoff, Event::Redispatch(idx));
     }
 
     fn note_failed(&mut self, now: SimTime, id: RequestId, reason: &'static str) {
@@ -1311,5 +1413,24 @@ impl ClusterSim {
     /// Whether TE `te` is currently up (for tests and benches).
     pub fn is_alive(&self, te: TeId) -> bool {
         self.tes[te.0 as usize].alive
+    }
+
+    /// Sum of every live engine's statistics (benches/diagnostics). The
+    /// `iterations` total counts logical iterations, so it is invariant
+    /// under fast-forward — a useful cross-check that macro-stepping did
+    /// the same work.
+    pub fn engine_stats_total(&self) -> flowserve::EngineStats {
+        let mut total = flowserve::EngineStats::default();
+        for te in &self.tes {
+            let s = te.engine.stats();
+            total.iterations += s.iterations;
+            total.busy += s.busy;
+            total.output_tokens += s.output_tokens;
+            total.finished += s.finished;
+            total.preemptions += s.preemptions;
+            total.ff_windows += s.ff_windows;
+            total.ff_iterations += s.ff_iterations;
+        }
+        total
     }
 }

@@ -83,7 +83,17 @@ pub struct SchedPool {
     pub loads: HashMap<TeId, TeSnapshot>,
 }
 
-impl SchedPool {
+/// Borrowed scheduling view the policies run against: the (possibly
+/// filtered) TE lists plus the caller's live load snapshots. `Copy`, so it
+/// threads through the policy helpers without cloning anything.
+#[derive(Clone, Copy)]
+struct PoolView<'a> {
+    colocated: &'a [TeId],
+    pairs: &'a [(TeId, TeId)],
+    loads: &'a HashMap<TeId, TeSnapshot>,
+}
+
+impl PoolView<'_> {
     fn load(&self, te: TeId) -> usize {
         self.loads.get(&te).map_or(0, |s| s.load)
     }
@@ -93,6 +103,19 @@ impl SchedPool {
     fn pair_load(&self, pair: (TeId, TeId)) -> usize {
         self.load(pair.0).max(self.load(pair.1))
     }
+}
+
+/// Cached removed-TE filtering of a caller's pool snapshot. The keys are
+/// the caller's unfiltered lists: while callers keep presenting the same
+/// pool shape (the common case — pools only change on repair/scale
+/// events), every `schedule` call reuses the filtered lists instead of
+/// rebuilding them per request. Invalidated by
+/// [`JobExecutor::note_te_removed`] / [`JobExecutor::note_te_added`].
+struct FilteredPool {
+    key_colocated: Vec<TeId>,
+    key_pairs: Vec<(TeId, TeId)>,
+    colocated: Vec<TeId>,
+    pairs: Vec<(TeId, TeId)>,
 }
 
 /// The scheduling outcome, with the intermediate signals for
@@ -133,6 +156,8 @@ pub struct JobExecutor {
     /// filters these out of the caller's pool, so a stale pool snapshot
     /// can never route to a removed TE.
     removed: BTreeSet<TeId>,
+    /// Lazily maintained removed-TE filtering of the last pool snapshot.
+    filtered_cache: Option<FilteredPool>,
     counters: Counters,
     tracer: Tracer,
 }
@@ -155,6 +180,7 @@ impl JobExecutor {
             overload_factor: 2.0,
             rr_cursor: 0,
             removed: BTreeSet::new(),
+            filtered_cache: None,
             counters: Counters::new(),
             tracer: Tracer::disabled(),
         }
@@ -206,6 +232,7 @@ impl JobExecutor {
         self.tree_colocated.remove_te(te);
         self.tree_prefill.remove_te(te);
         self.removed.insert(te);
+        self.filtered_cache = None;
         self.counters.incr("je.te_removed");
     }
 
@@ -213,6 +240,7 @@ impl JobExecutor {
     /// empty (a replaced TE holds no cache).
     pub fn note_te_added(&mut self, te: TeId) {
         self.removed.remove(&te);
+        self.filtered_cache = None;
         self.counters.incr("je.te_added");
     }
 
@@ -228,40 +256,64 @@ impl JobExecutor {
     /// Panics if the pool is empty.
     pub fn schedule(&mut self, now: SimTime, req: &ApiRequest, pool: &SchedPool) -> Decision {
         // Filter removed TEs out of the caller's (possibly stale) pool
-        // snapshot so scheduling can never return a dead target.
-        let filtered;
-        let pool = if self.removed.is_empty() {
-            pool
+        // snapshot so scheduling can never return a dead target. The
+        // filtered lists are cached and revalidated against the caller's
+        // lists, so the steady state does one Vec comparison per call —
+        // never a rebuild, and never a `loads` clone (loads are always
+        // borrowed live from the caller).
+        let cache = if self.removed.is_empty() {
+            None
         } else {
-            filtered = SchedPool {
-                colocated: pool
-                    .colocated
-                    .iter()
-                    .copied()
-                    .filter(|t| !self.removed.contains(t))
-                    .collect(),
-                pairs: pool
-                    .pairs
-                    .iter()
-                    .copied()
-                    .filter(|(p, d)| !self.removed.contains(p) && !self.removed.contains(d))
-                    .collect(),
-                loads: pool.loads.clone(),
-            };
-            &filtered
+            let mut cache = self.filtered_cache.take();
+            let valid = cache
+                .as_ref()
+                .is_some_and(|c| c.key_colocated == pool.colocated && c.key_pairs == pool.pairs);
+            if !valid {
+                self.counters.incr("je.filtered_pool_rebuilds");
+                cache = Some(FilteredPool {
+                    key_colocated: pool.colocated.clone(),
+                    key_pairs: pool.pairs.clone(),
+                    colocated: pool
+                        .colocated
+                        .iter()
+                        .copied()
+                        .filter(|t| !self.removed.contains(t))
+                        .collect(),
+                    pairs: pool
+                        .pairs
+                        .iter()
+                        .copied()
+                        .filter(|(p, d)| !self.removed.contains(p) && !self.removed.contains(d))
+                        .collect(),
+                });
+            }
+            cache
+        };
+        let view = match &cache {
+            Some(c) => PoolView {
+                colocated: &c.colocated,
+                pairs: &c.pairs,
+                loads: &pool.loads,
+            },
+            None => PoolView {
+                colocated: &pool.colocated,
+                pairs: &pool.pairs,
+                loads: &pool.loads,
+            },
         };
         assert!(
-            !pool.colocated.is_empty() || !pool.pairs.is_empty(),
+            !view.colocated.is_empty() || !view.pairs.is_empty(),
             "dist_sched: empty TE pool"
         );
         let predicted = self.predictor.predict(req);
         let decision = match self.policy {
-            Policy::RoundRobin => self.round_robin(req, pool, predicted),
-            Policy::LoadAware => self.load_only(req, pool, predicted),
-            Policy::LocalityAware => self.locality_only(req, pool, predicted),
-            Policy::PdAware => self.pd_then_load(req, pool, predicted),
-            Policy::Combined => self.combined(req, pool, predicted),
+            Policy::RoundRobin => self.round_robin(req, view, predicted),
+            Policy::LoadAware => self.load_only(req, view, predicted),
+            Policy::LocalityAware => self.locality_only(req, view, predicted),
+            Policy::PdAware => self.pd_then_load(req, view, predicted),
+            Policy::Combined => self.combined(req, view, predicted),
         };
+        self.filtered_cache = cache;
         if self.tracer.is_enabled() {
             let policy = match self.policy {
                 Policy::RoundRobin => "round_robin",
@@ -293,7 +345,7 @@ impl JobExecutor {
 
     // ---- policies ----
 
-    fn round_robin(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+    fn round_robin(&mut self, req: &ApiRequest, pool: PoolView<'_>, predicted: u32) -> Decision {
         let slots = pool.colocated.len() + pool.pairs.len();
         let slot = self.rr_cursor % slots;
         self.rr_cursor += 1;
@@ -315,7 +367,7 @@ impl JobExecutor {
         }
     }
 
-    fn load_only(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+    fn load_only(&mut self, req: &ApiRequest, pool: PoolView<'_>, predicted: u32) -> Decision {
         let target = self.least_loaded_any(pool);
         self.counters.incr("je.load");
         Decision {
@@ -326,7 +378,7 @@ impl JobExecutor {
         }
     }
 
-    fn locality_only(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+    fn locality_only(&mut self, req: &ApiRequest, pool: PoolView<'_>, predicted: u32) -> Decision {
         let target = self
             .best_locality(req, pool, /*colocated=*/ true)
             .or_else(|| self.best_locality(req, pool, false))
@@ -340,7 +392,7 @@ impl JobExecutor {
         }
     }
 
-    fn pd_then_load(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+    fn pd_then_load(&mut self, req: &ApiRequest, pool: PoolView<'_>, predicted: u32) -> Decision {
         let (subgroup, heat) = self.select_tes_pd_heatmap(req, pool, predicted);
         let target = self.least_loaded_in(pool, &subgroup);
         self.counters.incr("je.pd");
@@ -354,11 +406,11 @@ impl JobExecutor {
 
     /// Algorithm 1: PD-aware narrows the group; balanced -> locality,
     /// imbalanced -> load.
-    fn combined(&mut self, req: &ApiRequest, pool: &SchedPool, predicted: u32) -> Decision {
+    fn combined(&mut self, req: &ApiRequest, pool: PoolView<'_>, predicted: u32) -> Decision {
         let (subgroup, heat) = self.select_tes_pd_heatmap(req, pool, predicted);
         let target = if self.is_load_balanced(pool, &subgroup) {
             self.counters.incr("je.combined_locality");
-            self.select_tes_prefix_match(req, pool, &subgroup)
+            self.select_tes_prefix_match(req, &subgroup)
                 .unwrap_or_else(|| self.least_loaded_in(pool, &subgroup))
         } else {
             self.counters.incr("je.combined_load");
@@ -380,7 +432,7 @@ impl JobExecutor {
     fn select_tes_pd_heatmap(
         &mut self,
         req: &ApiRequest,
-        pool: &SchedPool,
+        pool: PoolView<'_>,
         predicted: u32,
     ) -> (Vec<Target>, f64) {
         let heat = self.heatmap.lookup(req.prefill_len(), predicted);
@@ -438,12 +490,7 @@ impl JobExecutor {
 
     /// `select_tes_prefix_match`: longest global-prompt-tree match within
     /// the subgroup; `None` when nothing matches.
-    fn select_tes_prefix_match(
-        &self,
-        req: &ApiRequest,
-        _pool: &SchedPool,
-        subgroup: &[Target],
-    ) -> Option<Target> {
+    fn select_tes_prefix_match(&self, req: &ApiRequest, subgroup: &[Target]) -> Option<Target> {
         let coloc_matches = self.tree_colocated.match_tokens(&req.prompt);
         let prefill_matches = self.tree_prefill.match_tokens(&req.prompt);
         subgroup
@@ -462,7 +509,7 @@ impl JobExecutor {
             .map(|(t, _)| t)
     }
 
-    fn is_load_balanced(&self, pool: &SchedPool, subgroup: &[Target]) -> bool {
+    fn is_load_balanced(&self, pool: PoolView<'_>, subgroup: &[Target]) -> bool {
         let loads: Vec<usize> = subgroup
             .iter()
             .map(|&t| match t {
@@ -476,7 +523,7 @@ impl JobExecutor {
         }
     }
 
-    fn least_loaded_in(&self, pool: &SchedPool, subgroup: &[Target]) -> Target {
+    fn least_loaded_in(&self, pool: PoolView<'_>, subgroup: &[Target]) -> Target {
         *subgroup
             .iter()
             .min_by_key(|&&t| match t {
@@ -488,7 +535,7 @@ impl JobExecutor {
             .expect("subgroup is non-empty by construction")
     }
 
-    fn least_loaded_any(&self, pool: &SchedPool) -> Target {
+    fn least_loaded_any(&self, pool: PoolView<'_>) -> Target {
         let mut all: Vec<Target> = pool
             .colocated
             .iter()
@@ -501,7 +548,12 @@ impl JobExecutor {
         self.least_loaded_in(pool, &all)
     }
 
-    fn best_locality(&self, req: &ApiRequest, pool: &SchedPool, colocated: bool) -> Option<Target> {
+    fn best_locality(
+        &self,
+        req: &ApiRequest,
+        pool: PoolView<'_>,
+        colocated: bool,
+    ) -> Option<Target> {
         if colocated {
             let m = self.tree_colocated.match_tokens(&req.prompt);
             pool.colocated

@@ -9,6 +9,8 @@ use std::collections::BTreeMap;
 use deepserve::{
     materialize_trace, ClusterConfig, ClusterSim, FaultRecoveryConfig, Policy, TeRole,
 };
+use flowserve::EngineConfig;
+use proptest::prelude::*;
 use simcore::{FaultPlan, Samples, SimDuration, SimRng, SimTime, TraceLevel};
 use workloads::ChatTrace;
 
@@ -135,6 +137,10 @@ fn tracing_does_not_perturb_the_simulation() {
 
 /// A faulted cluster with a crash plan installed.
 fn faulted_sim() -> ClusterSim {
+    faulted_sim_paced(true)
+}
+
+fn faulted_sim_paced(fast_forward: bool) -> ClusterSim {
     let mut rng = SimRng::seed_from_u64(13);
     let reqs = materialize_trace(&ChatTrace::paper(1.5).generate(&mut rng, 50), 64_000);
     let cfg = ClusterConfig {
@@ -147,6 +153,7 @@ fn faulted_sim() -> ClusterSim {
         .with_transfer_flake(SimTime::from_secs(1), SimDuration::from_secs(3));
     let roles = [TeRole::Colocated, TeRole::Colocated, TeRole::Colocated];
     let mut sim = ClusterSim::new(cfg, &roles);
+    sim.set_fast_forward(fast_forward);
     sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
     sim.inject(reqs);
     sim.install_faults(&plan, FaultRecoveryConfig::default());
@@ -236,4 +243,146 @@ fn faulted_trace_reconstructs_report_latency() {
     assert!(close(rt.p99, rr.p99), "ttft p99 {} vs {}", rt.p99, rr.p99);
     assert!(close(tt.p50, tr.p50), "tpot p50 {} vs {}", tt.p50, tr.p50);
     assert!(close(tt.p99, tr.p99), "tpot p99 {} vs {}", tt.p99, tr.p99);
+}
+
+// ---- decode fast-forward (macro-stepping) equivalence -------------------
+//
+// Fast-forward changes how the simulator executes (how many events it
+// processes), never what it computes: the serialized `RunReport` must be
+// byte-identical with macro-stepping on and off.
+
+/// One full run at the given pacing; returns the serialized report and the
+/// number of events the simulator processed.
+fn run_paced(
+    fast_forward: bool,
+    roles: &[TeRole],
+    engine: EngineConfig,
+    seed: u64,
+    rps: f64,
+    n_reqs: usize,
+    faulted: bool,
+) -> (String, u64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let reqs = materialize_trace(&ChatTrace::paper(rps).generate(&mut rng, n_reqs), 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        engine,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, roles);
+    sim.set_fast_forward(fast_forward);
+    sim.inject(reqs);
+    if faulted {
+        let plan = FaultPlan::none()
+            .with_crash(SimTime::from_secs(6), 0)
+            .with_straggler(SimTime::from_secs(2), 1, 3.0, SimDuration::from_secs(5))
+            .with_transfer_flake(SimTime::from_secs(1), SimDuration::from_secs(3));
+        sim.install_faults(&plan, FaultRecoveryConfig::default());
+    }
+    let mut report = sim.run_to_completion();
+    (report.to_json().to_json(), sim.events_processed())
+}
+
+proptest! {
+    /// Random workloads x random engine configs x random topologies, with
+    /// and without faults: fast-forward on vs off must produce
+    /// byte-identical serialized `RunReport`s.
+    #[test]
+    fn fast_forward_is_bit_identical(
+        seed in 0u64..10_000,
+        rps_x10 in 5u64..60,
+        n_reqs in 8usize..40,
+        topo in 0usize..4,
+        max_batch in 4usize..48,
+        chunk_idx in 0usize..2,
+        faulted in 0usize..2,
+    ) {
+        let roles: &[TeRole] = match topo {
+            0 => &[TeRole::Colocated, TeRole::Colocated],
+            1 => &[TeRole::Colocated, TeRole::Colocated, TeRole::Colocated],
+            2 => &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode],
+            _ => &[TeRole::Prefill, TeRole::Decode, TeRole::Colocated],
+        };
+        let engine = EngineConfig {
+            max_batch,
+            prefill_chunk_tokens: [256, 512][chunk_idx],
+            ..EngineConfig::colocated()
+        };
+        let rps = rps_x10 as f64 / 10.0;
+        let ff = run_paced(true, roles, engine.clone(), seed, rps, n_reqs, faulted == 1);
+        let ss = run_paced(false, roles, engine, seed, rps, n_reqs, faulted == 1);
+        prop_assert_eq!(&ff.0, &ss.0, "fast-forward diverged from single-step");
+    }
+}
+
+/// Directed PD-disaggregated scenario (KV migrations, populate transfers):
+/// identical reports, strictly fewer events with fast-forward.
+#[test]
+fn fast_forward_matches_single_step_disaggregated() {
+    let roles = [TeRole::Prefill, TeRole::Prefill, TeRole::Decode];
+    let engine = EngineConfig::colocated();
+    let ff = run_paced(true, &roles, engine.clone(), 7, 6.0, 80, false);
+    let ss = run_paced(false, &roles, engine, 7, 6.0, 80, false);
+    assert_eq!(ff.0, ss.0);
+    assert!(
+        ff.1 < ss.1,
+        "fast-forward must absorb decode wakes: {} vs {} events",
+        ff.1,
+        ss.1
+    );
+}
+
+/// Directed colocated decode-heavy scenario: the macro-stepping sweet spot.
+/// Reports identical; the event count drops by a large factor.
+#[test]
+fn fast_forward_reduces_events() {
+    let roles = [TeRole::Colocated, TeRole::Colocated];
+    let engine = EngineConfig::colocated();
+    let ff = run_paced(true, &roles, engine.clone(), 11, 2.0, 40, false);
+    let ss = run_paced(false, &roles, engine, 11, 2.0, 40, false);
+    assert_eq!(ff.0, ss.0);
+    assert!(
+        ff.1 * 2 < ss.1,
+        "expected >= 2x fewer events on a decode-heavy run: {} vs {}",
+        ff.1,
+        ss.1
+    );
+}
+
+/// Faults, stragglers and migrations force single-step fallback on the
+/// affected TEs — and the overall outcome (latencies, counters, failure
+/// set, makespan) still matches single-stepping bit for bit, trace
+/// included for the lifecycle level.
+#[test]
+fn fast_forward_matches_single_step_faulted() {
+    // Macro-stepping legitimately coarsens the *iteration* spans in a
+    // trace, so raw traces differ; every request-level milestone must
+    // still land at the exact single-step instant.
+    let lifecycle = |report: &mut deepserve::RunReport| {
+        let mut stream: Vec<(String, u64, simcore::SimTime)> = Vec::new();
+        for label in [
+            "arrival",
+            "request.first_token",
+            "request.finished",
+            "request.failed",
+            "request.requeued",
+        ] {
+            for e in report.trace.events_labeled(label) {
+                stream.push((label.to_string(), e.attr_u64("req").unwrap_or(0), e.at));
+            }
+        }
+        stream.sort();
+        stream
+    };
+    let go = |ff: bool| {
+        let mut sim = faulted_sim_paced(ff);
+        let mut report = sim.run_to_completion();
+        assert!(report.counters.get("cluster.failures") >= 1);
+        let stream = lifecycle(&mut report);
+        (report.to_json().to_json(), stream)
+    };
+    let (ff_report, ff_stream) = go(true);
+    let (ss_report, ss_stream) = go(false);
+    assert_eq!(ff_report, ss_report);
+    assert_eq!(ff_stream, ss_stream);
 }

@@ -210,6 +210,23 @@ impl BlockTable {
         debug_assert!(self.tokens <= self.blocks.len() * self.block_size);
     }
 
+    /// Like [`BlockTable::extend`] but borrows the block list, so hot-path
+    /// callers can keep reusing their scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supplied blocks don't exactly cover `new_tokens`.
+    pub fn extend_from_slice(&mut self, new_blocks: &[BlockId], new_tokens: usize) {
+        assert_eq!(
+            new_blocks.len(),
+            self.blocks_needed(new_tokens),
+            "extend_from_slice: block count must match blocks_needed({new_tokens})"
+        );
+        self.blocks.extend_from_slice(new_blocks);
+        self.tokens += new_tokens;
+        debug_assert!(self.tokens <= self.blocks.len() * self.block_size);
+    }
+
     /// Free slots in the last block.
     pub fn slack(&self) -> usize {
         self.blocks.len() * self.block_size - self.tokens

@@ -92,6 +92,22 @@ pub struct PendingPopulate {
     pub tokens: usize,
 }
 
+/// How the driver paces the engine loop (see DESIGN.md "Macro-stepping").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// One iteration per [`Engine::advance`] call: the classic lock-step
+    /// event loop, one wake per iteration.
+    SingleStep,
+    /// Decode fast-forward: when the engine is quiescent, absorb every
+    /// provably unchanged decode iteration into the in-flight one.
+    FastForward {
+        /// The next externally scheduled event that could interact with
+        /// this engine; the window never absorbs a boundary at or past
+        /// it. `None` means no external event is pending (unbounded).
+        horizon: Option<SimTime>,
+    },
+}
+
 /// One in-flight iteration.
 #[derive(Debug)]
 struct Iteration {
@@ -101,6 +117,9 @@ struct Iteration {
     prefill_parts: Vec<(RequestId, usize)>,
     /// Trace span covering this iteration (NONE when tracing is off).
     span: SpanId,
+    /// Logical iterations this entry represents (> 1 after fast-forward
+    /// absorbed boundaries into it).
+    iterations: u64,
 }
 
 /// Aggregate engine statistics.
@@ -116,6 +135,12 @@ pub struct EngineStats {
     pub finished: u64,
     /// Recompute preemptions.
     pub preemptions: u64,
+    /// Fast-forward windows committed (macro-steps with >= 1 absorbed
+    /// boundary). Telemetry only — never part of `RunReport` counters.
+    pub ff_windows: u64,
+    /// Iterations absorbed into fast-forward windows (a subset of
+    /// `iterations`). Telemetry only.
+    pub ff_iterations: u64,
 }
 
 /// The FlowServe engine (one TE's serving core).
@@ -142,6 +167,20 @@ pub struct Engine {
     req_spans: HashMap<RequestId, SpanId>,
     /// Iteration wall-time multiplier (1.0 = healthy; > 1.0 = straggler).
     slowdown: f64,
+    /// Scratch copy of `running_decode` for `form_batch` (reused every
+    /// iteration so the hot path allocates nothing).
+    scratch_ids: Vec<RequestId>,
+    /// Scratch prefill-candidate list for `form_batch`.
+    scratch_candidates: Vec<RequestId>,
+    /// Recycled `Iteration::decode_ids` buffer.
+    spare_decode_ids: Vec<RequestId>,
+    /// Recycled `Iteration::prefill_parts` buffer.
+    spare_prefill_parts: Vec<(RequestId, usize)>,
+    /// Scratch per-sequence slack for `fast_forward`.
+    scratch_slack: Vec<usize>,
+    /// Scratch per-sequence new-block lists for `fast_forward` (inner
+    /// vectors stay allocated across windows; always empty between calls).
+    scratch_new_blocks: Vec<Vec<BlockId>>,
 }
 
 impl Engine {
@@ -171,6 +210,12 @@ impl Engine {
             tracer: Tracer::disabled(),
             req_spans: HashMap::new(),
             slowdown: 1.0,
+            scratch_ids: Vec::new(),
+            scratch_candidates: Vec::new(),
+            spare_decode_ids: Vec::new(),
+            spare_prefill_parts: Vec::new(),
+            scratch_slack: Vec::new(),
+            scratch_new_blocks: Vec::new(),
         }
     }
 
@@ -543,14 +588,29 @@ impl Engine {
 
     /// Runs the engine loop at `now`: completes the in-flight iteration if
     /// it has ended, then starts the next one. Returns emitted events.
+    ///
+    /// Compatibility wrapper over [`Engine::advance_paced`] with
+    /// [`Pacing::SingleStep`] and a fresh event vector.
     pub fn advance(&mut self, now: SimTime) -> Vec<EngineEvent> {
         let mut events = Vec::new();
+        self.advance_paced(now, Pacing::SingleStep, &mut events);
+        events
+    }
+
+    /// Runs the engine loop at `now`, appending emitted events to `events`
+    /// (a reused buffer — the caller clears it). With
+    /// [`Pacing::FastForward`] the engine may additionally absorb future
+    /// decode iterations into the in-flight one (see
+    /// [`Engine::fast_forward`]); the observable outcome is bit-identical
+    /// to single-stepping, only the number of driver wakes changes.
+    pub fn advance_paced(&mut self, now: SimTime, pacing: Pacing, events: &mut Vec<EngineEvent>) {
         if let Some(it) = self.current.take() {
             if now < it.ends_at {
                 self.current = Some(it);
-                return events; // woken early; nothing to do yet
+                return; // woken early; nothing to do yet
             }
-            self.complete_iteration(it.ends_at, &it, &mut events);
+            self.complete_iteration(it.ends_at, &it, events);
+            self.recycle_iteration(it);
         }
         // Retry KV admissions that were waiting for space.
         self.retry_waiting_kv();
@@ -564,7 +624,206 @@ impl Engine {
         if self.current.is_none() {
             self.start_iteration(now);
         }
-        events
+        if let Pacing::FastForward { horizon } = pacing {
+            self.fast_forward(horizon);
+        }
+    }
+
+    /// Returns an iteration's buffers to the spare pool so the next
+    /// `form_batch` starts from allocated capacity.
+    fn recycle_iteration(&mut self, it: Iteration) {
+        let Iteration {
+            mut decode_ids,
+            mut prefill_parts,
+            ..
+        } = it;
+        decode_ids.clear();
+        prefill_parts.clear();
+        self.spare_decode_ids = decode_ids;
+        self.spare_prefill_parts = prefill_parts;
+    }
+
+    /// Decode fast-forward (macro-stepping; DESIGN.md "Macro-stepping").
+    ///
+    /// When the engine is *quiescent* — empty admission queue, no prefill
+    /// chunks in flight, no `waiting_kv` stalls, no pending populate
+    /// tickets, healthy speed, and a stable pure-decode batch — every
+    /// upcoming iteration is predetermined until one of four things
+    /// happens: the fastest sequence in the batch completes, a block
+    /// allocation would miss the free pool (eviction/preemption), the
+    /// background swapper would have demotion work, or an externally
+    /// scheduled event lands (`horizon`). This absorbs exactly the
+    /// boundaries that provably precede all four into the in-flight
+    /// iteration, replaying the single-step arithmetic — real pool
+    /// appends in batch order, per-iteration integer-nanosecond cost
+    /// rounding — so the committed state (tables, block ids, counters,
+    /// timings) is bit-identical to stepping one wake at a time.
+    ///
+    /// Fallbacks: stragglers (`slowdown != 1.0`) and full-level tracing
+    /// (which wants every per-token event) single-step unconditionally;
+    /// any quiescence violation absorbs nothing.
+    fn fast_forward(&mut self, horizon: Option<SimTime>) {
+        // Cheapest rejection first: if an external event pops at or before
+        // the first boundary, nothing can be absorbed — skip all window
+        // setup (this is the common case while arrivals are streaming in).
+        if let (Some(h), Some(cur)) = (horizon, self.current.as_ref()) {
+            if cur.ends_at >= h {
+                return;
+            }
+        }
+        if self.slowdown != 1.0 || self.tracer.is_full() {
+            return;
+        }
+        if !self.waiting.is_empty()
+            || !self.running_prefill.is_empty()
+            || !self.waiting_kv.is_empty()
+            || !self.populating.is_empty()
+        {
+            return;
+        }
+        let Some(mut it) = self.current.take() else {
+            return;
+        };
+        let b = it.decode_ids.len();
+        // The batch must be exactly what `form_batch` would re-form at the
+        // next boundary: every running sequence (up to max_batch) admitted
+        // in order, with no reservation skips.
+        let stable = it.prefill_parts.is_empty()
+            && b > 0
+            && b == self.running_decode.len().min(self.cfg.max_batch)
+            && it.decode_ids[..] == self.running_decode[..b];
+        if !stable {
+            self.current = Some(it);
+            return;
+        }
+
+        // Per-sequence state: tokens still owed and block-table slack. The
+        // boundary that completes the fastest sequence (boundary
+        // `min_rem`) must run through the normal completion path.
+        let mut min_rem = u64::MAX;
+        let mut slack = std::mem::take(&mut self.scratch_slack);
+        slack.clear();
+        let mut context_total: u64 = 0;
+        let mut tracked = true;
+        for &id in &it.decode_ids {
+            let Some(req) = self.requests.get(&id) else {
+                debug_assert!(false, "engine invariant: untracked request {id:?}");
+                tracked = false;
+                break;
+            };
+            debug_assert_eq!(req.phase, Phase::Decoding);
+            min_rem =
+                min_rem.min((req.new.target_output as u64).saturating_sub(req.generated as u64));
+            slack.push(req.table.slack());
+            context_total += req.table.tokens() as u64;
+        }
+        if !tracked {
+            self.scratch_slack = slack;
+            self.current = Some(it);
+            return;
+        }
+
+        // Constant across the window: the batch (hence the CPU cost) is
+        // fixed, and pool-hit appends never touch the radix tree, so the
+        // evictable set cannot change while absorbing.
+        let (cpu_overlap, cpu_residual) = self.cfg.version.cpu_costs(b);
+        let watermark = self.cfg.swap_low_watermark_blocks;
+        let has_evictable = watermark > 0 && self.rtc.npu_evictable();
+
+        let mut new_blocks = std::mem::take(&mut self.scratch_new_blocks);
+        if new_blocks.len() < b {
+            new_blocks.resize_with(b, Vec::new);
+        }
+        debug_assert!(new_blocks.iter().all(Vec::is_empty));
+        let mut absorbed: u64 = 0;
+        let mut busy_acc = SimDuration::ZERO;
+        // Appends the *next* boundary needs; updated incrementally by the
+        // mutation loop below so each iteration scans `slack` only once.
+        let mut next_appends = slack.iter().filter(|&&s| s == 0).count();
+        loop {
+            // Boundary `absorbed + 1` would elapse at `it.ends_at`.
+            if absorbed + 1 >= min_rem {
+                break; // next boundary completes the fastest sequence
+            }
+            if horizon.is_some_and(|h| it.ends_at >= h) {
+                break; // an external event pops first (strictly before)
+            }
+            let free = self.rtc.npu_free_blocks();
+            if has_evictable && free < watermark {
+                break; // the background swapper would demote cache here
+            }
+            if next_appends > free {
+                break; // allocation would evict or preempt; single-step it
+            }
+            // Absorb the boundary: complete this iteration silently and
+            // form the next one. Pool appends happen for real, in batch
+            // order, so the assigned BlockIds match single-stepping.
+            let mut coming = 0usize;
+            for (i, s) in slack.iter_mut().enumerate() {
+                if *s == 0 {
+                    let blk = self
+                        .rtc
+                        .append_block()
+                        .expect("fast-forward pre-checked a pool hit");
+                    new_blocks[i].push(blk);
+                    *s = self.cfg.block_size - 1;
+                } else {
+                    *s -= 1;
+                }
+                if *s == 0 {
+                    coming += 1;
+                }
+            }
+            next_appends = coming;
+            context_total += b as u64;
+            // Exactly `start_iteration`'s arithmetic for a pure-decode
+            // batch, including the per-iteration float -> integer-ns
+            // rounding (a closed-form sum would drift by ulps).
+            let npu = self
+                .cost
+                .step_time(&BatchWork::decode(b as u64, context_total));
+            let wall = if self.cfg.version.async_sched {
+                SimDuration::from_secs_f64(npu.as_secs_f64().max(cpu_overlap) + cpu_residual)
+            } else {
+                npu + SimDuration::from_secs_f64(cpu_overlap + cpu_residual)
+            };
+            it.ends_at += wall;
+            busy_acc += wall;
+            absorbed += 1;
+        }
+
+        if absorbed > 0 {
+            for (i, &id) in it.decode_ids.iter().enumerate() {
+                let Some(req) = self.requests.get_mut(&id) else {
+                    debug_assert!(false, "engine invariant: untracked request {id:?}");
+                    continue;
+                };
+                req.generated += absorbed as u32;
+                req.table
+                    .extend_from_slice(&new_blocks[i], absorbed as usize);
+                new_blocks[i].clear();
+            }
+            self.stats.iterations += absorbed;
+            self.stats.busy += busy_acc;
+            self.stats.output_tokens += absorbed * b as u64;
+            self.stats.ff_windows += 1;
+            self.stats.ff_iterations += absorbed;
+            it.iterations += absorbed;
+            if self.tracer.is_enabled() {
+                self.tracer.event_in(
+                    it.ends_at,
+                    "macro_step",
+                    it.span,
+                    vec![
+                        ("iterations", it.iterations.into()),
+                        ("decode_batch", b.into()),
+                    ],
+                );
+            }
+        }
+        self.scratch_slack = slack;
+        self.scratch_new_blocks = new_blocks;
+        self.current = Some(it);
     }
 
     fn retry_waiting_kv(&mut self) {
@@ -624,18 +883,25 @@ impl Engine {
             decode_ids,
             prefill_parts,
             span,
+            iterations: 1,
         });
     }
 
     fn form_batch(&mut self, now: SimTime) -> (BatchWork, Vec<RequestId>, Vec<(RequestId, usize)>) {
         let mut work = BatchWork::default();
-        let mut decode_ids = Vec::new();
-        let mut prefill_parts = Vec::new();
+        // Batch vectors and iteration snapshots are recycled between
+        // iterations (`recycle_iteration` / scratch fields) so the steady
+        // decode loop allocates nothing.
+        let mut decode_ids = std::mem::take(&mut self.spare_decode_ids);
+        let mut prefill_parts = std::mem::take(&mut self.spare_prefill_parts);
+        debug_assert!(decode_ids.is_empty() && prefill_parts.is_empty());
 
         // --- decode side ---
         if self.cfg.mode != EngineMode::PrefillOnly {
-            let ids: Vec<RequestId> = self.running_decode.clone();
-            for id in ids {
+            let mut ids = std::mem::take(&mut self.scratch_ids);
+            ids.clear();
+            ids.extend_from_slice(&self.running_decode);
+            for &id in &ids {
                 if decode_ids.len() >= self.cfg.max_batch {
                     break;
                 }
@@ -652,6 +918,7 @@ impl Engine {
                     }
                 }
             }
+            self.scratch_ids = ids;
         }
 
         // --- prefill side ---
@@ -664,7 +931,9 @@ impl Engine {
             let mut budget = self.cfg.prefill_chunk_tokens;
             let mut ctx_weighted: u64 = 0;
             // Continue in-flight prefills first, then admit new ones.
-            let mut candidates: Vec<RequestId> = self.running_prefill.clone();
+            let mut candidates = std::mem::take(&mut self.scratch_candidates);
+            candidates.clear();
+            candidates.extend_from_slice(&self.running_prefill);
             // Peek the queue head; admission happens below if budget and
             // memory allow, and deeper queue entries are pulled in as
             // earlier ones are admitted.
@@ -712,6 +981,7 @@ impl Engine {
                 }
             }
             work.prefill_context = ctx_weighted.checked_div(work.prefill_tokens).unwrap_or(0);
+            self.scratch_candidates = candidates;
         }
 
         (work, decode_ids, prefill_parts)

@@ -33,7 +33,7 @@ pub use block::{BlockId, BlockPool, BlockTable, OutOfBlocks, DEFAULT_BLOCK_SIZE}
 pub use config::{EngineConfig, EngineMode, EngineVersion};
 pub use distflow::{Backend, BufferInfo, DistFlow, DistFlowError, MemTier, TransferPlan};
 pub use dp::{DpEngine, DpGroup};
-pub use engine::{Engine, EngineEvent, EngineStats, PendingPopulate, SubmitOutcome};
+pub use engine::{Engine, EngineEvent, EngineStats, Pacing, PendingPopulate, SubmitOutcome};
 pub use pp::{plan_prefill, ChunkPlacement, PipelinePlan};
 pub use request::{EngineRequest, NewRequest, Phase, RequestId};
 pub use rtc::{CacheId, PopulateStatus, PopulateTicket, PrefixMatch, Rtc, RtcConfig};

@@ -163,6 +163,14 @@ impl Rtc {
         self.dram_pool.available()
     }
 
+    /// Whether any NPU-resident cache node is currently evictable (an
+    /// unpinned frontier node). When nothing is evictable, the background
+    /// swapper is a guaranteed no-op regardless of the free-block
+    /// watermark — the engine's fast-forward gate relies on this.
+    pub fn npu_evictable(&self) -> bool {
+        !self.tree.evictable(Location::Npu).is_empty()
+    }
+
     /// Accumulated hit/miss/eviction counters.
     pub fn counters(&self) -> &Counters {
         &self.counters
