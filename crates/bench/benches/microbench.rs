@@ -265,6 +265,46 @@ fn bench_engine_decode_advance(c: &mut Criterion) {
     });
 }
 
+/// One small decode-heavy cluster run at the given thread count.
+fn cluster_run(threads: usize) -> u64 {
+    use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
+    use npu::specs::ClusterSpec;
+    use simcore::SimRng;
+    use workloads::FixedShape;
+    let shape = FixedShape {
+        prefill: 128,
+        decode: 128,
+        rps: 1024.0,
+        count: 64,
+    };
+    let mut rng = SimRng::seed_from_u64(42);
+    let trace = shape.generate(&mut rng);
+    let cfg = ClusterConfig {
+        cluster: ClusterSpec::gen2_cluster(2),
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, &[TeRole::Colocated; 4]);
+    sim.set_threads(threads);
+    sim.inject(materialize_trace(&trace, 64_000));
+    let report = sim.run_to_completion();
+    report.latency.completed()
+}
+
+/// Prices the parallel-stepping coordinator: batch collection, worker
+/// dispatch and the ordered merge. Compare `cluster/step_batch_merge`
+/// (threads=2, batching machinery engaged) against
+/// `cluster/step_sequential` (threads=1, classic loop) — the gap is the
+/// coordination overhead a multi-core host must amortize.
+fn bench_cluster_step_batch(c: &mut Criterion) {
+    c.bench_function("cluster/step_sequential", |b| {
+        b.iter(|| black_box(cluster_run(1)))
+    });
+    c.bench_function("cluster/step_batch_merge", |b| {
+        b.iter(|| black_box(cluster_run(2)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -275,6 +315,7 @@ criterion_group!(
     bench_heatmap,
     bench_shared_link,
     bench_engine_step,
-    bench_engine_decode_advance
+    bench_engine_decode_advance,
+    bench_cluster_step_batch
 );
 criterion_main!(benches);

@@ -1,28 +1,34 @@
-//! Scale sweep: decode fast-forward (macro-stepping) vs single-stepping.
+//! Scale sweep: decode fast-forward (macro-stepping) and conservative
+//! parallel stepping vs the classic single-threaded single-step loop.
 //!
 //! Sweeps (TEs x requests x output length) on decode-heavy fixed-shape
-//! workloads and runs every configuration twice — once with the cluster's
-//! default macro-stepping pacing, once forced to the classic one-wake-per-
-//! iteration loop — recording wall-clock, simulator events processed, and
-//! throughput. Each pair is also checked for bit-identical `RunReport`s,
-//! so the sweep doubles as an end-to-end equivalence test at scale.
+//! workloads and runs every configuration three times — the classic
+//! one-wake-per-iteration loop, macro-stepping on one thread, and
+//! macro-stepping on a worker pool — recording wall-clock, simulator
+//! events processed, and throughput. All three runs of a configuration
+//! are checked for bit-identical `RunReport`s, so the sweep doubles as an
+//! end-to-end equivalence test at scale for both execution strategies.
 //!
 //! Reported throughput is *logical iterations per wall-clock second*: the
 //! logical iteration count is invariant under fast-forward (the macro-step
-//! commits the same per-iteration work), so the ratio of the two modes'
+//! commits the same per-iteration work), so the ratio of two modes'
 //! rates equals the wall-clock speedup. Raw events/sec is reported too,
 //! but note fast-forward *shrinks* the event count by design.
 //!
 //! Run: `cargo run --release -p deepserve-bench --bin scale_sweep`
-//! CI:  `cargo run --release -p deepserve-bench --bin scale_sweep -- --smoke`
+//! CI:  `cargo run --release -p deepserve-bench --bin scale_sweep -- --smoke --threads 4`
 //!
-//! `--smoke` runs one small configuration and exits non-zero unless
-//! fast-forward achieves at least the single-step iteration rate.
-//! A full run also snapshots the results to `BENCH_scale.json` at the
-//! repo root (next to `Cargo.toml`) to track the perf trajectory.
+//! `--threads N` sets the worker-pool size for the parallel runs; without
+//! it, `DEEPSERVE_THREADS` applies, else the host's available parallelism
+//! capped at 4. `--smoke` runs one small configuration and exits non-zero
+//! unless all reports match and fast-forward achieves at least the
+//! single-step iteration rate (no speed assertion on the thread run —
+//! single-core CI hosts are legitimate). A full run also snapshots the
+//! results to `BENCH_scale.json` at the repo root (next to `Cargo.toml`)
+//! to track the perf trajectory.
 
 use deepserve::{materialize_trace, ClusterConfig, ClusterSim, Policy, TeRole};
-use deepserve_bench::{header, write_json};
+use deepserve_bench::{header, threads_flag, write_json};
 use npu::specs::ClusterSpec;
 use serde::Serialize;
 use simcore::SimRng;
@@ -31,13 +37,14 @@ use workloads::FixedShape;
 
 const PREFILL_TOKENS: usize = 128;
 
-/// One (configuration, pacing mode) measurement.
+/// One (configuration, execution strategy) measurement.
 #[derive(Serialize)]
 struct Row {
     tes: usize,
     requests: usize,
     output_tokens: u32,
     mode: &'static str,
+    threads: usize,
     wall_ms: f64,
     events_processed: u64,
     sim_iterations: u64,
@@ -52,13 +59,18 @@ struct Row {
     completed: usize,
 }
 
-/// Per-configuration comparison of the two modes.
+/// Per-configuration comparison of the three execution strategies.
 #[derive(Serialize)]
-struct Pair {
+struct Trio {
     tes: usize,
     requests: usize,
     output_tokens: u32,
-    speedup_wall: f64,
+    threads: usize,
+    /// Single-step wall / single-thread fast-forward wall.
+    speedup_ff: f64,
+    /// Single-thread fast-forward wall / threaded fast-forward wall (the
+    /// parallel-stepping gain; compounds with `speedup_ff`).
+    speedup_threads: f64,
     event_reduction: f64,
     reports_identical: bool,
 }
@@ -74,6 +86,7 @@ fn run_one(
     requests: usize,
     output_tokens: u32,
     fast_forward: bool,
+    threads: usize,
 ) -> RunOut {
     // Decode-heavy fixed shape: small distinct prompts, long outputs, and
     // near-burst arrivals (the whole trace lands within ~1 simulated
@@ -94,6 +107,7 @@ fn run_one(
     let roles = vec![TeRole::Colocated; tes];
     let mut sim = ClusterSim::new(cfg, &roles);
     sim.set_fast_forward(fast_forward);
+    sim.set_threads(threads);
     sim.inject(materialize_trace(&trace, 64_000));
     let start = Instant::now();
     let mut report = sim.run_to_completion();
@@ -109,6 +123,7 @@ fn run_one(
         } else {
             "single_step"
         },
+        threads,
         wall_ms: wall * 1e3,
         events_processed: events,
         sim_iterations: stats.iterations,
@@ -130,37 +145,55 @@ fn run_one(
 /// produces the identical report — only wall-clock varies.
 const REPS: usize = 3;
 
-fn run_pair(servers: usize, tes: usize, requests: usize, output_tokens: u32) -> (Row, Row, Pair) {
-    let mut ss = run_one(servers, tes, requests, output_tokens, false);
-    let mut ff = run_one(servers, tes, requests, output_tokens, true);
+fn best_of(
+    servers: usize,
+    tes: usize,
+    requests: usize,
+    output_tokens: u32,
+    fast_forward: bool,
+    threads: usize,
+) -> RunOut {
+    let mut best = run_one(servers, tes, requests, output_tokens, fast_forward, threads);
     for _ in 1..REPS {
-        let s = run_one(servers, tes, requests, output_tokens, false);
-        if s.row.wall_ms < ss.row.wall_ms {
-            ss.row = s.row;
-        }
-        let f = run_one(servers, tes, requests, output_tokens, true);
-        if f.row.wall_ms < ff.row.wall_ms {
-            ff.row = f.row;
+        let r = run_one(servers, tes, requests, output_tokens, fast_forward, threads);
+        if r.row.wall_ms < best.row.wall_ms {
+            best.row = r.row;
         }
     }
-    let pair = Pair {
+    best
+}
+
+fn run_trio(
+    servers: usize,
+    tes: usize,
+    requests: usize,
+    output_tokens: u32,
+    threads: usize,
+) -> (Vec<Row>, Trio) {
+    let ss = best_of(servers, tes, requests, output_tokens, false, 1);
+    let ff = best_of(servers, tes, requests, output_tokens, true, 1);
+    let par = best_of(servers, tes, requests, output_tokens, true, threads);
+    let trio = Trio {
         tes,
         requests,
         output_tokens,
-        speedup_wall: ss.row.wall_ms / ff.row.wall_ms,
+        threads,
+        speedup_ff: ss.row.wall_ms / ff.row.wall_ms,
+        speedup_threads: ff.row.wall_ms / par.row.wall_ms,
         event_reduction: ss.row.events_processed as f64 / ff.row.events_processed as f64,
-        reports_identical: ss.report_json == ff.report_json,
+        reports_identical: ss.report_json == ff.report_json && ff.report_json == par.report_json,
     };
-    (ss.row, ff.row, pair)
+    (vec![ss.row, ff.row, par.row], trio)
 }
 
 fn print_row(r: &Row) {
     println!(
-        "{:>4} {:>6} {:>5} {:>13} {:>10.1} {:>12} {:>12} {:>12.0} {:>10.1}",
+        "{:>4} {:>6} {:>5} {:>13} {:>4} {:>10.1} {:>12} {:>12} {:>12.0} {:>10.1}",
         r.tes,
         r.requests,
         r.output_tokens,
         r.mode,
+        r.threads,
         r.wall_ms,
         r.events_processed,
         r.sim_iterations,
@@ -172,16 +205,36 @@ fn print_row(r: &Row) {
 #[derive(Serialize)]
 struct Sweep {
     rows: Vec<Row>,
-    pairs: Vec<Pair>,
+    pairs: Vec<Trio>,
+}
+
+/// Worker-pool size for the parallel runs: the explicit `--threads` flag,
+/// else the `DEEPSERVE_THREADS` env default, else the host's available
+/// parallelism capped at 4 (so an unconfigured laptop run still exercises
+/// the parallel path without oversubscribing).
+fn sweep_threads() -> usize {
+    if let Some(n) = threads_flag() {
+        return n;
+    }
+    let env = deepserve::default_threads();
+    if env > 1 {
+        return env;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = sweep_threads();
     header(if smoke {
-        "scale_sweep --smoke: macro-stepping sanity check"
+        "scale_sweep --smoke: macro-stepping + parallel-stepping sanity check"
     } else {
-        "scale_sweep: decode fast-forward vs single-step (34B TP=4, colocated)"
+        "scale_sweep: fast-forward & parallel stepping vs single-step (34B TP=4, colocated)"
     });
+    println!("[parallel runs use {threads} worker threads]");
     // (servers, TEs, requests, output tokens); gen2 servers hold two TP=4
     // TEs each.
     let grid: &[(usize, usize, usize, u32)] = if smoke {
@@ -196,33 +249,39 @@ fn main() {
         ]
     };
     println!(
-        "{:>4} {:>6} {:>5} {:>13} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "TEs", "reqs", "out", "mode", "wall ms", "events", "iters", "iters/s", "sim s"
+        "{:>4} {:>6} {:>5} {:>13} {:>4} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "TEs", "reqs", "out", "mode", "thr", "wall ms", "events", "iters", "iters/s", "sim s"
     );
     let mut rows = Vec::new();
     let mut pairs = Vec::new();
     for &(servers, tes, requests, output) in grid {
-        let (ss, ff, pair) = run_pair(servers, tes, requests, output);
-        print_row(&ss);
-        print_row(&ff);
+        let (trio_rows, trio) = run_trio(servers, tes, requests, output, threads);
+        for r in &trio_rows {
+            print_row(r);
+        }
         println!(
-            "{:>31} speedup {:>5.1}x   events {:>5.1}x fewer   reports identical: {}",
-            "->", pair.speedup_wall, pair.event_reduction, pair.reports_identical
+            "{:>36} ff {:>5.1}x   threads {:>5.2}x   events {:>5.1}x fewer   identical: {}",
+            "->",
+            trio.speedup_ff,
+            trio.speedup_threads,
+            trio.event_reduction,
+            trio.reports_identical
         );
-        rows.push(ss);
-        rows.push(ff);
-        pairs.push(pair);
+        rows.extend(trio_rows);
+        pairs.push(trio);
     }
 
     let all_identical = pairs.iter().all(|p| p.reports_identical);
+    // Parity check over (single_step, fast_forward@1) only: the threaded
+    // run's wall-clock depends on host cores, which a smoke gate must not.
     let all_at_least_parity = rows
-        .chunks(2)
+        .chunks(3)
         .all(|c| c[1].iters_per_sec >= c[0].iters_per_sec);
     let sweep = Sweep { rows, pairs };
     write_json("scale_sweep", &sweep);
 
     if !all_identical {
-        eprintln!("FAIL: fast-forward diverged from single-step on at least one config");
+        eprintln!("FAIL: an execution strategy diverged on at least one config");
         std::process::exit(1);
     }
     if smoke {
@@ -230,7 +289,9 @@ fn main() {
             eprintln!("FAIL: fast-forward below single-step iteration rate");
             std::process::exit(1);
         }
-        println!("\nsmoke OK: reports identical, fast-forward >= single-step iters/sec");
+        println!(
+            "\nsmoke OK: reports identical across single-step / fast-forward / {threads} threads"
+        );
         return;
     }
     // Full run: snapshot next to Cargo.toml for the perf trajectory.
@@ -240,15 +301,24 @@ fn main() {
     let json = serde_json::to_string_pretty(&sweep).expect("serializable sweep");
     std::fs::write(&root, json).expect("write BENCH_scale.json");
     println!("[snapshot written to {}]", root.display());
-    let worst = sweep
+    let worst_ff = sweep
         .pairs
         .iter()
-        .map(|p| p.speedup_wall)
+        .map(|p| p.speedup_ff)
         .fold(f64::INFINITY, f64::min);
-    let best = sweep
+    let best_ff = sweep.pairs.iter().map(|p| p.speedup_ff).fold(0.0, f64::max);
+    let worst_t = sweep
         .pairs
         .iter()
-        .map(|p| p.speedup_wall)
+        .map(|p| p.speedup_threads)
+        .fold(f64::INFINITY, f64::min);
+    let best_t = sweep
+        .pairs
+        .iter()
+        .map(|p| p.speedup_threads)
         .fold(0.0, f64::max);
-    println!("\nwall-clock speedup: min {worst:.1}x, max {best:.1}x across the grid");
+    println!(
+        "\nfast-forward speedup: min {worst_ff:.1}x, max {best_ff:.1}x; \
+         parallel-stepping speedup at {threads} threads: min {worst_t:.2}x, max {best_t:.2}x"
+    );
 }

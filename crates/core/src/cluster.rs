@@ -25,8 +25,10 @@ use npu::pagecache::FileId;
 use npu::specs::{ClusterSpec, NpuId};
 use simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
-use simcore::{Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use simcore::{
+    Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime, TimeMultiset,
+};
+use std::collections::{HashMap, HashSet};
 
 /// Role of one TE in the serving pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -230,6 +232,19 @@ impl RunReport {
     }
 }
 
+/// Worker-thread default for parallel cluster stepping: the
+/// `DEEPSERVE_THREADS` environment variable if set to a positive integer,
+/// else 1 (sequential). This is the single place the env var is read;
+/// every [`ClusterSim`] starts from it and [`ClusterSim::set_threads`]
+/// overrides per instance. Results are bit-identical at any thread count —
+/// the knob only trades wall-clock for cores.
+pub fn default_threads() -> usize {
+    std::env::var("DEEPSERVE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// The serving cluster.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -262,13 +277,25 @@ pub struct ClusterSim {
     /// Multiset of pending *horizon-bounding* event times (everything but
     /// non-prefill `Wake`s). The earliest entry is the horizon handed to
     /// fast-forwarding engines: no absorption at or past it.
-    horizon_times: BTreeMap<SimTime, u32>,
+    horizon_times: TimeMultiset,
+    /// Worker threads for parallel stepping (1 = classic sequential loop).
+    /// Outcome is bit-identical at any count; only wall-clock changes.
+    threads: usize,
     /// Livelock guard: `run_to_completion` panics after this many events.
     event_budget: u64,
     /// Events processed across all `run_to_completion` calls.
     events_processed: u64,
     /// Reused engine-event buffer for `on_wake`.
     events_scratch: Vec<EngineEvent>,
+    /// Reused wake-batch buffer for `step_wake_batch`:
+    /// `(due time, TE, passed the wake gate)`.
+    batch_scratch: Vec<(SimTime, TeId, bool)>,
+    /// Reused per-TE membership flags for batch collection.
+    batch_member: Vec<bool>,
+    /// Reused TE-index -> batch-slot map for the worker phase.
+    slot_scratch: Vec<usize>,
+    /// Recycled engine-event buffers handed to batch workers.
+    wake_buf_pool: Vec<Vec<EngineEvent>>,
     // --- fault layer (inert until `install_faults`) ---
     fault_cfg: FaultRecoveryConfig,
     fault_events: Vec<FaultEvent>,
@@ -404,10 +431,15 @@ impl ClusterSim {
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
             fast_forward: true,
-            horizon_times: BTreeMap::new(),
+            horizon_times: TimeMultiset::new(),
+            threads: default_threads(),
             event_budget: 200_000_000,
             events_processed: 0,
             events_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            batch_member: Vec::new(),
+            slot_scratch: Vec::new(),
+            wake_buf_pool: Vec::new(),
             fault_cfg: FaultRecoveryConfig::default(),
             fault_events: Vec::new(),
             health: None,
@@ -479,6 +511,19 @@ impl ClusterSim {
         self.fast_forward = on;
     }
 
+    /// Sets the worker-thread count for parallel stepping (clamped to at
+    /// least 1 = the classic sequential loop). Like fast-forward, this is a
+    /// pure execution-strategy knob: reports and traces are bit-identical
+    /// at every thread count, so any value is safe anywhere.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Replaces the default 200M-event livelock budget for
     /// [`ClusterSim::run_to_completion`].
     pub fn set_event_budget(&mut self, budget: u64) {
@@ -510,9 +555,18 @@ impl ClusterSim {
     /// past an unrecorded interaction.
     fn sched(&mut self, at: SimTime, ev: Event) {
         if self.bounds_horizon(ev) {
-            *self.horizon_times.entry(at).or_insert(0) += 1;
+            self.horizon_times.insert(at);
         }
         self.clock.schedule(at, ev);
+    }
+
+    /// Bookkeeping for a popped event: drops its horizon-bounding entry.
+    /// Every pop (main loop, batch collection, merge drain) must pair with
+    /// this or the horizon would stay pinned at a past instant.
+    fn note_popped(&mut self, now: SimTime, ev: Event) {
+        if self.bounds_horizon(ev) {
+            self.horizon_times.remove(now);
+        }
     }
 
     /// Queues a workload (arrivals must be time-sorted).
@@ -583,16 +637,20 @@ impl ClusterSim {
     pub fn run_to_completion(&mut self) -> RunReport {
         let mut processed: u64 = 0;
         while let Some((now, ev)) = self.clock.next() {
-            if self.bounds_horizon(ev) {
-                if let Some(n) = self.horizon_times.get_mut(&now) {
-                    *n -= 1;
-                    if *n == 0 {
-                        self.horizon_times.remove(&now);
-                    }
+            self.note_popped(now, ev);
+            processed += match ev {
+                // Parallel stepping: a non-prefill wake at the queue head
+                // may lead a batch of independent engine advances.
+                Event::Wake(te)
+                    if self.threads > 1 && self.tes[te.0 as usize].role != TeRole::Prefill =>
+                {
+                    self.step_wake_batch(now, te)
                 }
-            }
-            self.handle(now, ev);
-            processed += 1;
+                _ => {
+                    self.handle(now, ev);
+                    1
+                }
+            };
             assert!(
                 processed < self.event_budget,
                 "cluster sim exceeded event budget (livelock?)"
@@ -828,29 +886,42 @@ impl ClusterSim {
         self.sched(wake.max_of(now), Event::Wake(te_id));
     }
 
-    fn on_wake(&mut self, now: SimTime, te_id: TeId) {
+    /// Whether TE `te_id` should advance for a wake due at `now`, applying
+    /// the gate's side effect (clearing a consumed `scheduled_wake`).
+    fn wake_gate(&mut self, now: SimTime, te_id: TeId) -> bool {
         // A crashed TE computes nothing; stale wakes fall on the floor.
         if !self.tes[te_id.0 as usize].alive {
-            return;
+            return false;
         }
-        {
-            let te = self.te_mut(te_id);
-            match te.scheduled_wake {
-                Some(w) if w == now => te.scheduled_wake = None,
-                // Superseded wake: a later reschedule moved this TE's next
-                // deadline past `now` (fast-forward pushing `ends_at` out),
-                // so the engine provably has nothing to do yet.
-                Some(w) if w > now => return,
-                _ => {}
+        let te = self.te_mut(te_id);
+        match te.scheduled_wake {
+            Some(w) if w == now => {
+                te.scheduled_wake = None;
+                true
             }
+            // Superseded wake: a later reschedule moved this TE's next
+            // deadline past `now` (fast-forward pushing `ends_at` out),
+            // so the engine provably has nothing to do yet.
+            Some(w) if w > now => false,
+            _ => true,
         }
-        let pacing = if self.fast_forward {
+    }
+
+    fn current_pacing(&self) -> Pacing {
+        if self.fast_forward {
             Pacing::FastForward {
-                horizon: self.horizon_times.keys().next().copied(),
+                horizon: self.horizon_times.min(),
             }
         } else {
             Pacing::SingleStep
-        };
+        }
+    }
+
+    fn on_wake(&mut self, now: SimTime, te_id: TeId) {
+        if !self.wake_gate(now, te_id) {
+            return;
+        }
+        let pacing = self.current_pacing();
         let mut events = std::mem::take(&mut self.events_scratch);
         events.clear();
         {
@@ -862,6 +933,157 @@ impl ClusterSim {
         }
         self.events_scratch = events;
         self.reschedule_wake(now, te_id);
+    }
+
+    /// Conservative parallel stepping: handles `first` (an already-popped
+    /// non-prefill wake) together with every consecutive queue-head event
+    /// that is also an independent non-prefill wake, advancing the engines
+    /// concurrently on scoped worker threads. Returns the number of events
+    /// processed (batch members plus merge-drained reschedules).
+    ///
+    /// Why this is exactly the sequential execution (see DESIGN.md
+    /// "Parallel stepping" for the full argument):
+    ///
+    /// * **Lookahead.** Collection stops at the first event that is not a
+    ///   non-prefill wake, i.e. at the first *horizon-bounding* event.
+    ///   Batch members therefore all precede the next event whose handler
+    ///   could touch another TE, and a non-prefill wake's own handler only
+    ///   advances its TE and reschedules its own next wake — so members
+    ///   commute with everything between them.
+    /// * **Frozen window.** Nothing a member does changes another member's
+    ///   gate (`alive`, `scheduled_wake`) or the horizon multiset, so the
+    ///   gates and the pacing evaluated up front equal the values the
+    ///   sequential loop would compute one by one. A second queued wake
+    ///   for a TE already in the batch *can* observe the first one's
+    ///   effects, so it ends collection instead of joining.
+    /// * **Exact-order merge.** Workers only mutate their own engine and
+    ///   fill a private event buffer. The coordinator then replays the
+    ///   buffers in pop order, and before applying member *i* at `t_i`
+    ///   drains every queue event strictly earlier than `t_i` — the only
+    ///   such events are wakes the merge itself scheduled for
+    ///   already-applied members, which sequentially would fire between
+    ///   the two timestamps. Every coordinator-side mutation (float
+    ///   accumulation, prompt-tree updates, trace emission, event-queue
+    ///   sequence numbers) therefore happens in the sequential order.
+    fn step_wake_batch(&mut self, first_t: SimTime, first_te: TeId) -> u64 {
+        // --- collect the maximal run of independent non-prefill wakes ---
+        let n_tes = self.tes.len();
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        let mut member = std::mem::take(&mut self.batch_member);
+        batch.clear();
+        member.clear();
+        member.resize(n_tes, false);
+        member[first_te.0 as usize] = true;
+        batch.push((first_t, first_te, false));
+        while let Some((_, &Event::Wake(te))) = self.clock.peek() {
+            let idx = te.0 as usize;
+            if self.tes[idx].role == TeRole::Prefill || member[idx] {
+                break;
+            }
+            let (t, _) = self.clock.pop_pending().expect("peeked event exists");
+            member[idx] = true;
+            batch.push((t, te, false));
+        }
+
+        // --- gate members up front (valid because the window is frozen) ---
+        for entry in &mut batch {
+            entry.2 = self.wake_gate(entry.0, entry.1);
+        }
+
+        // --- advance gated engines on the worker pool ---
+        let pacing = self.current_pacing();
+        let eligible = batch.iter().filter(|e| e.2).count();
+        let mut bufs: Vec<Vec<EngineEvent>> = Vec::with_capacity(eligible);
+        for _ in 0..eligible {
+            let mut b = self.wake_buf_pool.pop().unwrap_or_default();
+            b.clear();
+            bufs.push(b);
+        }
+        {
+            // Disjoint `&mut Engine`s, in batch order: members are distinct
+            // TEs, so one pass over the pool can hand each slot its engine.
+            let mut slot_of = std::mem::take(&mut self.slot_scratch);
+            slot_of.clear();
+            slot_of.resize(n_tes, usize::MAX);
+            let mut slot = 0;
+            for &(_, te, ok) in batch.iter() {
+                if ok {
+                    slot_of[te.0 as usize] = slot;
+                    slot += 1;
+                }
+            }
+            let mut engines: Vec<Option<&mut Engine>> = (0..eligible).map(|_| None).collect();
+            for (idx, te) in self.tes.iter_mut().enumerate() {
+                if slot_of[idx] != usize::MAX {
+                    engines[slot_of[idx]] = Some(&mut te.engine);
+                }
+            }
+            let mut work: Vec<(SimTime, &mut Engine, &mut Vec<EngineEvent>)> = batch
+                .iter()
+                .filter(|e| e.2)
+                .zip(engines)
+                .zip(bufs.iter_mut())
+                .map(|((&(t, _, _), eng), buf)| (t, eng.expect("slot filled above"), buf))
+                .collect();
+            let workers = self.threads.min(work.len());
+            if workers <= 1 {
+                for (t, eng, buf) in &mut work {
+                    eng.advance_paced(*t, pacing, buf);
+                }
+            } else {
+                let chunk = work.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    let mut chunks = work.chunks_mut(chunk);
+                    let mine = chunks.next();
+                    for theirs in chunks {
+                        s.spawn(move || {
+                            for (t, eng, buf) in theirs {
+                                eng.advance_paced(*t, pacing, buf);
+                            }
+                        });
+                    }
+                    // The coordinator works the first chunk instead of
+                    // blocking at the scope's join.
+                    if let Some(mine) = mine {
+                        for (t, eng, buf) in mine {
+                            eng.advance_paced(*t, pacing, buf);
+                        }
+                    }
+                });
+            }
+            slot_of.clear();
+            self.slot_scratch = slot_of;
+        }
+
+        // --- merge in pop order, draining reschedules into the gaps ---
+        let mut processed = 0u64;
+        let mut slot = 0;
+        for &(t_i, te_i, ok) in &batch {
+            while self.clock.peek_time().is_some_and(|t| t < t_i) {
+                let (dt, dev) = self.clock.next().expect("peeked event exists");
+                debug_assert!(matches!(dev, Event::Wake(_)), "drained a non-wake event");
+                self.note_popped(dt, dev);
+                self.handle(dt, dev);
+                processed += 1;
+            }
+            self.clock.advance_to(t_i);
+            if ok {
+                let mut buf = std::mem::take(&mut bufs[slot]);
+                slot += 1;
+                for ev in buf.drain(..) {
+                    self.on_engine_event(t_i, te_i, ev);
+                }
+                self.wake_buf_pool.push(buf);
+                self.reschedule_wake(t_i, te_i);
+            }
+            processed += 1;
+        }
+
+        batch.clear();
+        member.clear();
+        self.batch_scratch = batch;
+        self.batch_member = member;
+        processed
     }
 
     fn on_engine_event(&mut self, now: SimTime, te_id: TeId, ev: EngineEvent) {

@@ -31,7 +31,9 @@ pub mod prompt_tree;
 pub mod scaling;
 
 pub use api::{materialize, materialize_trace, ApiRequest, Endpoint, Job, JobKind, Slo, TaskKind};
-pub use cluster::{ClusterConfig, ClusterSim, FaultRecoveryConfig, RunReport, TeRole};
+pub use cluster::{
+    default_threads, ClusterConfig, ClusterSim, FaultRecoveryConfig, RunReport, TeRole,
+};
 pub use heatmap::Heatmap;
 pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 pub use manager::{

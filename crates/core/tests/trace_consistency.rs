@@ -349,6 +349,149 @@ fn fast_forward_reduces_events() {
     );
 }
 
+// ---- conservative parallel stepping equivalence -------------------------
+//
+// Multi-threaded engine advance is, like fast-forward, a pure execution
+// strategy: the coordinator merges worker results in the exact sequential
+// order, so report JSON *and* trace JSON must be byte-identical at any
+// thread count.
+
+/// One full traced run at the given thread count; returns the serialized
+/// report and the serialized lifecycle trace.
+#[allow(clippy::too_many_arguments)]
+fn run_threaded(
+    threads: usize,
+    fast_forward: bool,
+    roles: &[TeRole],
+    engine: EngineConfig,
+    seed: u64,
+    rps: f64,
+    n_reqs: usize,
+    faulted: bool,
+) -> (String, String) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let reqs = materialize_trace(&ChatTrace::paper(rps).generate(&mut rng, n_reqs), 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        engine,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, roles);
+    sim.set_threads(threads);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+    sim.inject(reqs);
+    if faulted {
+        let plan = FaultPlan::none()
+            .with_crash(SimTime::from_secs(6), 0)
+            .with_straggler(SimTime::from_secs(2), 1, 3.0, SimDuration::from_secs(5))
+            .with_transfer_flake(SimTime::from_secs(1), SimDuration::from_secs(3));
+        sim.install_faults(&plan, FaultRecoveryConfig::default());
+    }
+    let mut report = sim.run_to_completion();
+    (report.to_json().to_json(), report.trace.to_json().to_json())
+}
+
+proptest! {
+    /// Random workloads x topologies x pacings x faults: the sequential
+    /// loop vs worker pools of 2, 4 and 8 threads must produce
+    /// byte-identical serialized reports AND traces.
+    #[test]
+    fn parallel_stepping_is_bit_identical(
+        seed in 0u64..10_000,
+        rps_x10 in 5u64..60,
+        n_reqs in 8usize..40,
+        topo in 0usize..4,
+        max_batch in 4usize..48,
+        fast_forward in 0usize..2,
+        faulted in 0usize..2,
+        threads_idx in 0usize..3,
+    ) {
+        let roles: &[TeRole] = match topo {
+            0 => &[TeRole::Colocated, TeRole::Colocated],
+            1 => &[TeRole::Colocated, TeRole::Colocated, TeRole::Colocated],
+            2 => &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode],
+            _ => &[TeRole::Prefill, TeRole::Decode, TeRole::Colocated],
+        };
+        let engine = EngineConfig {
+            max_batch,
+            ..EngineConfig::colocated()
+        };
+        let threads = [2usize, 4, 8][threads_idx];
+        let rps = rps_x10 as f64 / 10.0;
+        let ff = fast_forward == 1;
+        let seq = run_threaded(1, ff, roles, engine.clone(), seed, rps, n_reqs, faulted == 1);
+        let par = run_threaded(threads, ff, roles, engine, seed, rps, n_reqs, faulted == 1);
+        prop_assert_eq!(&seq.0, &par.0, "parallel report diverged at {} threads", threads);
+        prop_assert_eq!(&seq.1, &par.1, "parallel trace diverged at {} threads", threads);
+    }
+}
+
+/// Directed PD-disaggregated scenario under parallel stepping: decode
+/// wake batches run concurrently while KV migrations, populate transfers
+/// and prefill wakes stay coordinator-side — reports and traces must not
+/// move by a byte at any thread count.
+#[test]
+fn parallel_stepping_matches_sequential_disaggregated() {
+    let roles = [TeRole::Prefill, TeRole::Prefill, TeRole::Decode];
+    let seq = run_threaded(
+        1,
+        true,
+        &roles,
+        EngineConfig::colocated(),
+        7,
+        6.0,
+        80,
+        false,
+    );
+    for threads in [2, 4, 8] {
+        let par = run_threaded(
+            threads,
+            true,
+            &roles,
+            EngineConfig::colocated(),
+            7,
+            6.0,
+            80,
+            false,
+        );
+        assert_eq!(seq.0, par.0, "report diverged at {threads} threads");
+        assert_eq!(seq.1, par.1, "trace diverged at {threads} threads");
+    }
+}
+
+/// Directed faulted scenario (TeCrash + Straggler + TransferFlake) under
+/// parallel stepping: crashes land between batches (fault events bound the
+/// lookahead window), so recovery, re-queues and repairs replay exactly.
+#[test]
+fn parallel_stepping_matches_sequential_faulted() {
+    let roles = [TeRole::Colocated, TeRole::Colocated, TeRole::Colocated];
+    let seq = run_threaded(
+        1,
+        true,
+        &roles,
+        EngineConfig::colocated(),
+        13,
+        1.5,
+        50,
+        true,
+    );
+    for threads in [2, 4, 8] {
+        let par = run_threaded(
+            threads,
+            true,
+            &roles,
+            EngineConfig::colocated(),
+            13,
+            1.5,
+            50,
+            true,
+        );
+        assert_eq!(seq.0, par.0, "faulted report diverged at {threads} threads");
+        assert_eq!(seq.1, par.1, "faulted trace diverged at {threads} threads");
+    }
+}
+
 /// Faults, stragglers and migrations force single-step fallback on the
 /// affected TEs — and the overall outcome (latencies, counters, failure
 /// set, makespan) still matches single-stepping bit for bit, trace

@@ -183,6 +183,16 @@ pub struct Engine {
     scratch_new_blocks: Vec<Vec<BlockId>>,
 }
 
+/// Parallel cluster stepping hands `&mut Engine`s to scoped worker threads,
+/// so the engine must stay a plain owned value — no `Rc`, `RefCell`, raw
+/// pointers or thread-local handles. This assertion turns an accidental
+/// regression (e.g. a future cache wrapped in `Rc`) into a compile error at
+/// the definition site instead of a borrow-checker riddle in `deepserve`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
 impl Engine {
     /// Builds an engine: RTC pools are sized from the cost model's KV
     /// capacity and the config's reserve fraction.

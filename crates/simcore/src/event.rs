@@ -78,6 +78,11 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The earliest event without removing it, if any.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|s| (s.time, &s.payload))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -167,6 +172,25 @@ impl<E> Clock<E> {
         self.queue.peek_time()
     }
 
+    /// The next event without popping it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.queue.peek()
+    }
+
+    /// Pops the next event **without advancing `now`**.
+    ///
+    /// This exists for batched execution: a driver that pops a run of
+    /// homogeneous events to process them together must keep `now` at the
+    /// first event's time, then walk it forward itself (via
+    /// [`Clock::advance_to`]) as it applies each popped event in order —
+    /// otherwise handlers replayed for the earlier events could not
+    /// schedule into the gap before the later ones.
+    pub fn pop_pending(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded an event in the past");
+        Some((t, e))
+    }
+
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -189,6 +213,62 @@ impl<E> Clock<E> {
             self.now
         );
         self.now = to;
+    }
+}
+
+/// A multiset of event times with an O(1) minimum.
+///
+/// Drivers that hand engines a *lookahead horizon* (the earliest pending
+/// event that could interact with them) consult the minimum on every wake,
+/// which makes a tree-walk per query the hot path. The multiset caches the
+/// minimum and only re-derives it (one `BTreeMap` min-key lookup) when the
+/// removal that emptied the smallest key invalidates it; inserts refresh it
+/// with a plain comparison.
+#[derive(Debug, Default)]
+pub struct TimeMultiset {
+    counts: std::collections::BTreeMap<SimTime, u32>,
+    cached_min: Option<SimTime>,
+}
+
+impl TimeMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one occurrence of `t`.
+    pub fn insert(&mut self, t: SimTime) {
+        *self.counts.entry(t).or_insert(0) += 1;
+        if self.cached_min.is_none_or(|m| t < m) {
+            self.cached_min = Some(t);
+        }
+    }
+
+    /// Removes one occurrence of `t`. Removing a time that is not present
+    /// is a no-op (loud in debug builds): the caller's insert/remove
+    /// pairing is the invariant, not this container's job to repair.
+    pub fn remove(&mut self, t: SimTime) {
+        let Some(n) = self.counts.get_mut(&t) else {
+            debug_assert!(false, "TimeMultiset::remove of absent time {t}");
+            return;
+        };
+        *n -= 1;
+        if *n == 0 {
+            self.counts.remove(&t);
+            if self.cached_min == Some(t) {
+                self.cached_min = self.counts.keys().next().copied();
+            }
+        }
+    }
+
+    /// The smallest time present, if any. O(1).
+    pub fn min(&self) -> Option<SimTime> {
+        self.cached_min
+    }
+
+    /// Whether the multiset holds no times.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
     }
 }
 
@@ -251,5 +331,87 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_exposes_payload_without_removal() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), "b");
+        q.push(SimTime::from_millis(1), "a");
+        assert_eq!(q.peek(), Some((SimTime::from_millis(1), &"a")));
+        assert_eq!(q.len(), 2);
+        let mut c: Clock<&str> = Clock::new();
+        c.schedule(SimTime::from_millis(2), "x");
+        assert_eq!(c.peek(), Some((SimTime::from_millis(2), &"x")));
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pop_pending_leaves_now_untouched() {
+        let mut c: Clock<u32> = Clock::new();
+        c.schedule(SimTime::from_millis(5), 1);
+        c.schedule(SimTime::from_millis(9), 2);
+        let (t1, e1) = c.pop_pending().unwrap();
+        assert_eq!((t1, e1), (SimTime::from_millis(5), 1));
+        assert_eq!(c.now(), SimTime::ZERO);
+        // A batch driver can still schedule into the gap before the
+        // popped event's time, then walk `now` forward explicitly.
+        c.schedule(SimTime::from_millis(3), 3);
+        c.advance_to(SimTime::from_millis(3));
+        assert_eq!(c.next(), Some((SimTime::from_millis(3), 3)));
+        assert_eq!(c.next(), Some((SimTime::from_millis(9), 2)));
+    }
+
+    #[test]
+    fn time_multiset_tracks_min_through_inserts_and_removes() {
+        let mut m = TimeMultiset::new();
+        assert_eq!(m.min(), None);
+        assert!(m.is_empty());
+        let (t1, t2, t3) = (
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            SimTime::from_millis(3),
+        );
+        m.insert(t2);
+        m.insert(t3);
+        assert_eq!(m.min(), Some(t2));
+        m.insert(t1);
+        m.insert(t1);
+        assert_eq!(m.min(), Some(t1));
+        // Duplicate removal: min holds until the last occurrence goes.
+        m.remove(t1);
+        assert_eq!(m.min(), Some(t1));
+        m.remove(t1);
+        assert_eq!(m.min(), Some(t2));
+        // Removing a non-min key never disturbs the cache.
+        m.remove(t3);
+        assert_eq!(m.min(), Some(t2));
+        m.remove(t2);
+        assert_eq!(m.min(), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn time_multiset_matches_naive_scan() {
+        // Deterministic pseudo-random interleaving of inserts/removes,
+        // cross-checked against a recomputed min each step.
+        let mut m = TimeMultiset::new();
+        let mut shadow: Vec<SimTime> = Vec::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = SimTime::from_nanos(x % 16);
+            if x.is_multiple_of(3) && !shadow.is_empty() {
+                let idx = (x as usize / 3) % shadow.len();
+                let victim = shadow.swap_remove(idx);
+                m.remove(victim);
+            } else {
+                shadow.push(t);
+                m.insert(t);
+            }
+            assert_eq!(m.min(), shadow.iter().min().copied());
+        }
     }
 }

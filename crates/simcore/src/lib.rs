@@ -20,9 +20,13 @@
 //!   crashes, stragglers, link degradation and transfer flakes, injected
 //!   as ordinary events so faulted runs stay bit-for-bit deterministic.
 //!
-//! Design rule: **no wall-clock time, no global state, no threads.** A
+//! Design rule: **no wall-clock time, no global state, no locking.** A
 //! simulation is an ordinary value you step; determinism comes from integer
-//! time, ordered queues and seeded RNG streams, not from locking.
+//! time, ordered queues and seeded RNG streams, not from synchronization.
+//! The kernel itself is single-threaded; a driver may *step* independent
+//! components on worker threads, but only if it merges their results back
+//! in an order it fully determines (see `deepserve`'s parallel stepping) —
+//! the kernel never hides a thread or a lock behind this API.
 
 pub mod event;
 pub mod fault;
@@ -32,7 +36,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use event::{Clock, EventQueue};
+pub use event::{Clock, EventQueue, TimeMultiset};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{
     Counters, LatencyStats, MetricId, MetricsRegistry, RequestLatency, Samples, Summary, TimeSeries,
