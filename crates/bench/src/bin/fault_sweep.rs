@@ -82,8 +82,7 @@ fn run_cell(rate: f64, miss_threshold: u32) -> Cell {
     let repair_mean = report
         .metrics
         .summary("cluster.repair_latency_ms")
-        .map(|s| s.mean)
-        .unwrap_or(0.0);
+        .map_or(0.0, |s| s.mean);
     Cell {
         crash_rate_per_sec: rate,
         miss_threshold,

@@ -86,13 +86,13 @@ fn main() {
         .cells
         .iter()
         .flatten()
-        .cloned()
+        .copied()
         .fold(f64::MIN, f64::max);
     let max_loss = combined
         .cells
         .iter()
         .flatten()
-        .cloned()
+        .copied()
         .fold(f64::MAX, f64::min);
     println!(
         "long-prefill/short-decode cell (16K, 1/64): {:+.2}",

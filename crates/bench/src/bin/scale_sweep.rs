@@ -221,8 +221,7 @@ fn sweep_threads() -> usize {
         return env;
     }
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, |n| n.get())
         .min(4)
 }
 

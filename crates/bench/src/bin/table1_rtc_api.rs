@@ -38,11 +38,11 @@ fn main() {
 
     // AllocBlocks: a prefill request takes 4 blocks.
     let blocks = rtc.alloc_blocks(4).expect("pool has room");
-    println!("AllocBlocks(4)        -> {:?}", blocks);
+    println!("AllocBlocks(4)        -> {blocks:?}");
 
     // AppendBlock: a decode step crosses a block boundary.
     let extra = rtc.append_block().expect("pool has room");
-    println!("AppendBlock()         -> {:?}", extra);
+    println!("AppendBlock()         -> {extra:?}");
 
     // Implicit insertion + MatchByPrefixToken.
     let chain = rtc.insert_prefix(t0, &tokens, &blocks);

@@ -4,6 +4,8 @@
 //! figure and writes the raw series to `target/figures/<id>.json` so
 //! EXPERIMENTS.md numbers are machine-checkable.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;

@@ -28,7 +28,11 @@ use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{
     Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime, TimeMultiset,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+// detlint note: the remaining HashMap/HashSet fields below are point-lookup
+// only (insert/remove/get/contains) — never iterated, so hash order cannot
+// leak into reports or traces. Anything iterated is a BTreeMap.
 
 /// Role of one TE in the serving pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -259,7 +263,9 @@ pub struct ClusterSim {
     decode_route: HashMap<RequestId, TeId>,
     /// Prompt + metadata stash for requests in the prefill half.
     pending_migration: HashMap<RequestId, NewRequest>,
-    in_flight_migrations: HashMap<TransferId, Migration>,
+    /// In-flight KV migrations. A `BTreeMap`: crash handling iterates it
+    /// to find doomed transfers, in id order by construction.
+    in_flight_migrations: BTreeMap<TransferId, Migration>,
     latency: LatencyStats,
     counters: Counters,
     first_arrival: Option<SimTime>,
@@ -420,7 +426,7 @@ impl ClusterSim {
             arrivals: Vec::new(),
             decode_route: HashMap::new(),
             pending_migration: HashMap::new(),
-            in_flight_migrations: HashMap::new(),
+            in_flight_migrations: BTreeMap::new(),
             latency: LatencyStats::new(),
             counters: Counters::new(),
             first_arrival: None,
@@ -980,7 +986,9 @@ impl ClusterSim {
             if self.tes[idx].role == TeRole::Prefill || member[idx] {
                 break;
             }
-            let (t, _) = self.clock.pop_pending().expect("peeked event exists");
+            let Some((t, _)) = self.clock.pop_pending() else {
+                break; // unreachable: peek above returned Some
+            };
             member[idx] = true;
             batch.push((t, te, false));
         }
@@ -1023,6 +1031,7 @@ impl ClusterSim {
                 .filter(|e| e.2)
                 .zip(engines)
                 .zip(bufs.iter_mut())
+                // detlint: allow(panic) — slot invariant: every gated batch member was assigned exactly one engine by the partition above; verified by the parallel-stepping proptest corpus
                 .map(|((&(t, _, _), eng), buf)| (t, eng.expect("slot filled above"), buf))
                 .collect();
             let workers = self.threads.min(work.len());
@@ -1060,7 +1069,9 @@ impl ClusterSim {
         let mut slot = 0;
         for &(t_i, te_i, ok) in &batch {
             while self.clock.peek_time().is_some_and(|t| t < t_i) {
-                let (dt, dev) = self.clock.next().expect("peeked event exists");
+                let Some((dt, dev)) = self.clock.next() else {
+                    break; // unreachable: peek_time above returned Some
+                };
                 debug_assert!(matches!(dev, Event::Wake(_)), "drained a non-wake event");
                 self.note_popped(dt, dev);
                 self.handle(dt, dev);
@@ -1435,20 +1446,18 @@ impl ClusterSim {
         let head = self.tes[te_id.0 as usize].npus[0];
         self.distflow.unlink_npu(head);
 
-        // Abort in-flight KV migrations touching the dead TE (sorted for
-        // determinism: HashMap iteration order is not stable).
-        let mut doomed: Vec<TransferId> = self
+        // Abort in-flight KV migrations touching the dead TE (BTreeMap
+        // iteration makes the order deterministic: ascending TransferId).
+        let doomed: Vec<TransferId> = self
             .in_flight_migrations
             .iter()
             .filter(|(_, m)| m.from == te_id || m.to == te_id)
             .map(|(&tid, _)| tid)
             .collect();
-        doomed.sort_unstable();
         for tid in doomed {
-            let m = self
-                .in_flight_migrations
-                .remove(&tid)
-                .expect("doomed tid collected above");
+            let Some(m) = self.in_flight_migrations.remove(&tid) else {
+                continue; // collected from this map just above
+            };
             self.tracer.end_span(now, m.span);
             self.counters.incr("sim.migrations_aborted");
             if self.tes[m.from.0 as usize].alive {

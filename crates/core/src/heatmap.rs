@@ -167,8 +167,8 @@ mod tests {
         // Advantage grows with prefill length at fixed ratio.
         assert!(m.lookup(16384, 1024) > m.lookup(1024, 64));
         // Observation 2: wins are larger than losses in magnitude.
-        let max_win = m.cells.iter().flatten().cloned().fold(f64::MIN, f64::max);
-        let max_loss = m.cells.iter().flatten().cloned().fold(f64::MAX, f64::min);
+        let max_win = m.cells.iter().flatten().copied().fold(f64::MIN, f64::max);
+        let max_loss = m.cells.iter().flatten().copied().fold(f64::MAX, f64::min);
         assert!(max_win > max_loss.abs());
     }
 

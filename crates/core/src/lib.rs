@@ -21,6 +21,8 @@
 //! * [`cluster`] — the cluster simulation composing JEs, TEs, the fabric
 //!   and workloads (the testbed for Figures 4–6).
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod cluster;
 pub mod heatmap;

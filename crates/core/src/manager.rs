@@ -12,7 +12,7 @@ use llm_model::Checkpoint;
 use npu::pagecache::PageCache;
 use serde::Serialize;
 use simcore::{SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Pool of pre-warmed pods (workload-independent, infra-managed; §6.1
 /// "usually managed by the infrastructure layer, such as Kubernetes, and
@@ -113,14 +113,16 @@ impl TePool {
 /// cluster manager predicts models likely to scale and pre-loads them into
 /// DRAM pagecache").
 pub struct PreloadManager {
-    popularity: HashMap<&'static str, u64>,
+    /// Demand counts. A `BTreeMap`: `ranking()` iterates it and feeds
+    /// preload decisions, so order must be the keys', not a hasher's.
+    popularity: BTreeMap<&'static str, u64>,
 }
 
 impl PreloadManager {
     /// Creates an empty demand tracker.
     pub fn new() -> Self {
         PreloadManager {
-            popularity: HashMap::new(),
+            popularity: BTreeMap::new(),
         }
     }
 

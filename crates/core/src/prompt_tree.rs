@@ -13,7 +13,7 @@
 
 use flowserve::TokenId;
 use simcore::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A TE identity (platform-level).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
@@ -36,8 +36,10 @@ fn chain_hash(prev: u64, block_tokens: &[TokenId]) -> u64 {
 #[derive(Debug)]
 pub struct GlobalPromptTree {
     block_size: usize,
-    /// prefix chain hash -> (TE -> last refresh time).
-    levels: HashMap<u64, HashMap<TeId, SimTime>>,
+    /// prefix chain hash -> (TE -> last refresh time). Both layers are
+    /// `BTreeMap`s: match/prune/remove all iterate, and the results feed
+    /// scheduling decisions — order must be the keys', not a hasher's.
+    levels: BTreeMap<u64, BTreeMap<TeId, SimTime>>,
     /// Soft capacity; pruning keeps roughly this many entries.
     capacity: usize,
 }
@@ -52,7 +54,7 @@ impl GlobalPromptTree {
         assert!(block_size > 0, "block_size must be positive");
         GlobalPromptTree {
             block_size,
-            levels: HashMap::new(),
+            levels: BTreeMap::new(),
             capacity: capacity.max(16),
         }
     }
@@ -72,8 +74,8 @@ impl GlobalPromptTree {
 
     /// Longest matched prefix per TE, in tokens. TEs with no match are
     /// absent.
-    pub fn match_tokens(&self, tokens: &[TokenId]) -> HashMap<TeId, usize> {
-        let mut depth: HashMap<TeId, usize> = HashMap::new();
+    pub fn match_tokens(&self, tokens: &[TokenId]) -> BTreeMap<TeId, usize> {
+        let mut depth: BTreeMap<TeId, usize> = BTreeMap::new();
         let mut hash = 0u64;
         let mut level = 0usize;
         for block in tokens.chunks_exact(self.block_size) {

@@ -1,0 +1,3 @@
+pub fn coordinator() {
+    std::thread::scope(|_| {});
+}

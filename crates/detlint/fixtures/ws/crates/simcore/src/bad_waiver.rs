@@ -1,0 +1,5 @@
+pub fn oops(v: Option<u32>) -> u32 {
+    // detlint: allow(nonexistent-rule) — typo'd rule id
+    // detlint: this marker has no allow clause
+    v.unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+pub fn bad_now() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn waived_now() -> u64 {
+    // detlint: allow(wall-clock) — one-shot boot diagnostic, never feeds sim state
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+    0
+}

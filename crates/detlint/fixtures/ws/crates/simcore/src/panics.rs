@@ -1,0 +1,13 @@
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn waived_expect(v: Option<u32>) -> u32 {
+    // detlint: allow(panic) — fixture invariant: caller checked is_some
+    v.expect("checked")
+}
+
+pub fn missing_justification(v: Option<u32>) -> u32 {
+    // detlint: allow(panic)
+    v.unwrap()
+}

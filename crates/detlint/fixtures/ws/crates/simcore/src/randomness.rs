@@ -1,0 +1,9 @@
+pub fn bad_hasher() -> u64 {
+    let h = thread_rng();
+    h
+}
+
+pub fn waived_seed() -> u64 {
+    // detlint: allow(rng) — fixture: seed is captured into the replay plan at boot
+    getrandom(0)
+}

@@ -1,0 +1,8 @@
+pub fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+pub fn waived_scope() {
+    // detlint: allow(thread) — fixture: stands in for a coordinator worker pool
+    std::thread::scope(|_| {});
+}

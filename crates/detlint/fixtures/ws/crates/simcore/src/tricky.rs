@@ -1,0 +1,23 @@
+//! Doc comment mentioning detlint: allow(panic) — must not register a waiver.
+
+/// Quoting `.unwrap()` and `thread_rng` in docs is fine.
+pub fn doc_quoted() -> &'static str {
+    "calling .unwrap() or Instant::now() in a string literal is fine"
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"std::time::Instant::now() inside a raw string"#
+}
+
+/* block comment:
+   std::thread::spawn(|| {});
+   .unwrap()
+*/
+pub fn block_commented() -> u32 {
+    'x'.len_utf8() as u32
+}
+
+pub fn unused_waiver() -> u32 {
+    // detlint: allow(panic) — fixture: nothing to waive here
+    7
+}

@@ -1,0 +1,8 @@
+pub fn bad_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn good_unsafe(p: *const u32) -> u32 {
+    // SAFETY: fixture — p is non-null by construction in the caller
+    unsafe { *p }
+}

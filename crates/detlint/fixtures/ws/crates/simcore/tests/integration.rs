@@ -1,0 +1,18 @@
+use std::collections::HashMap;
+
+#[test]
+fn test_files_are_exempt_from_determinism_rules() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (_, v) in &m {
+        let _ = v;
+    }
+    let _ = std::time::Instant::now();
+    std::thread::spawn(|| {}).join().unwrap();
+}
+
+#[test]
+fn unsafe_still_needs_safety_even_in_tests() {
+    let x = 5u32;
+    let p = &x as *const u32;
+    let _ = unsafe { *p };
+}

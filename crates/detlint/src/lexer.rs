@@ -1,0 +1,325 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! The rule engine works line-by-line on *code text*: source where every
+//! comment, string literal, and char literal has been blanked out with
+//! spaces (preserving line/column positions), so a pattern like
+//! `Instant::now` inside a doc comment or an error-message string can never
+//! trip a rule. Comment text is kept separately per line — that is where
+//! waivers (`// detlint: allow(...)`) and `// SAFETY:` annotations live.
+//!
+//! This is deliberately not a full Rust lexer: it only needs to classify
+//! every byte as code / comment / literal. The fiddly parts are nested
+//! block comments, raw strings (`r#"..."#`, any number of hashes), byte
+//! strings, and the char-literal vs. lifetime ambiguity (`'a'` vs `'a`).
+
+/// One source file, split into per-line code text and comment text.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Source lines with comments and literals blanked to spaces.
+    pub code: Vec<String>,
+    /// Comment text per line (everything else blanked). Doc comments
+    /// included; literal contents are NOT comments and appear nowhere.
+    pub comment: Vec<String>,
+}
+
+impl LexedFile {
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into per-line code/comment text.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut prev_code_char = ' ';
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+        }};
+    }
+    // Push `c` as code and a blank into the comment channel (or vice versa).
+    macro_rules! emit_code {
+        ($c:expr) => {{
+            code.push($c);
+            comment.push(' ');
+        }};
+    }
+    macro_rules! emit_blank {
+        () => {{
+            code.push(' ');
+            comment.push(' ');
+        }};
+    }
+    macro_rules! emit_comment {
+        ($c:expr) => {{
+            code.push(' ');
+            comment.push($c);
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    emit_comment!('/');
+                    emit_comment!('/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    emit_comment!('/');
+                    emit_comment!('*');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    emit_blank!();
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident_char(prev_code_char) {
+                    // Possible raw / byte string prefix: r", r#", b", br", br#".
+                    let mut j = if c == 'b' { i + 1 } else { i };
+                    let has_r = chars.get(j) == Some(&'r');
+                    if has_r {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let valid_prefix = has_r || (c == 'b' && hashes == 0);
+                    if chars.get(j) == Some(&'"') && valid_prefix {
+                        for _ in i..=j {
+                            emit_blank!();
+                        }
+                        i = j + 1;
+                        state = State::Str {
+                            raw_hashes: if has_r { Some(hashes) } else { None },
+                        };
+                    } else {
+                        prev_code_char = c;
+                        emit_code!(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime?
+                    if next == Some('\\') {
+                        // Escaped char literal: blank through the closing quote.
+                        let mut j = i + 2;
+                        // Skip the escape payload (handles \', \\, \u{..}, \x7f).
+                        if chars.get(j) == Some(&'u') && chars.get(j + 1) == Some(&'{') {
+                            while j < chars.len() && chars[j] != '}' {
+                                j += 1;
+                            }
+                        }
+                        j += 1;
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(chars.len() - 1) {
+                            emit_blank!();
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next.is_some_and(|n| n != '\'') {
+                        // Plain 'x' char literal.
+                        emit_blank!();
+                        emit_blank!();
+                        emit_blank!();
+                        i += 3;
+                    } else {
+                        // Lifetime: keep as code.
+                        prev_code_char = c;
+                        emit_code!(c);
+                        i += 1;
+                    }
+                } else {
+                    prev_code_char = c;
+                    emit_code!(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                emit_comment!(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    emit_comment!('/');
+                    emit_comment!('*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    emit_comment!('*');
+                    emit_comment!('/');
+                    i += 2;
+                } else {
+                    emit_comment!(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            emit_blank!();
+                            if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                                emit_blank!();
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        } else if c == '"' {
+                            state = State::Normal;
+                            prev_code_char = ' ';
+                            emit_blank!();
+                            i += 1;
+                        } else {
+                            emit_blank!();
+                            i += 1;
+                        }
+                    }
+                    Some(h) => {
+                        // Raw string: ends at `"` followed by `h` hashes.
+                        if c == '"' {
+                            let mut ok = true;
+                            for k in 0..h {
+                                if chars.get(i + 1 + k as usize) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for _ in 0..=h {
+                                    emit_blank!();
+                                }
+                                i += 1 + h as usize;
+                                state = State::Normal;
+                                prev_code_char = ' ';
+                                continue;
+                            }
+                        }
+                        emit_blank!();
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    newline!();
+    LexedFile {
+        code: code_lines,
+        comment: comment_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = lex("let a = 1; // HashMap.iter()\n/* Instant::now */ let b = 2;");
+        assert!(!f.code[0].contains("HashMap"));
+        assert!(f.comment[0].contains("HashMap.iter()"));
+        assert!(!f.code[1].contains("Instant"));
+        assert!(f.code[1].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* outer /* inner */ still comment */ code()");
+        assert!(!f.code[0].contains("outer"));
+        assert!(!f.code[0].contains("still"));
+        assert!(f.code[0].contains("code()"));
+    }
+
+    #[test]
+    fn strips_string_literals_and_escapes() {
+        let f = lex(r#"let s = "panic! \" .unwrap()"; s.len()"#);
+        assert!(!f.code[0].contains("panic!"));
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("s.len()"));
+    }
+
+    #[test]
+    fn strips_raw_strings_with_hashes() {
+        let f = lex(r###"let s = r#"thread::spawn "quoted" here"#; tail()"###);
+        assert!(!f.code[0].contains("spawn"));
+        assert!(f.code[0].contains("tail()"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }");
+        // Lifetimes survive as code; the quote char literal is blanked so
+        // it cannot open a bogus string.
+        assert!(f.code[0].contains("<'a>"));
+        assert!(f.code[0].contains("&'a str"));
+        assert!(!f.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nline two\";\nafter();";
+        let f = lex(src);
+        assert_eq!(f.len(), 3);
+        assert!(!f.code[1].contains("line two"));
+        assert!(f.code[2].contains("after();"));
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let f = lex(r#"let b = b"SystemTime"; ok()"#);
+        assert!(!f.code[0].contains("SystemTime"));
+        assert!(f.code[0].contains("ok()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let f = lex(r#"let tracer = make(); tracer"used""#);
+        assert!(f.code[0].contains("let tracer = make();"));
+        // The `"used"` literal is blanked but `tracer` before it survives.
+        assert!(!f.code[0].contains("used"));
+    }
+}

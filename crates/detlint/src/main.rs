@@ -1,0 +1,105 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p detlint                    # scan, print diagnostics, write JSON
+//! cargo run -p detlint -- --list-waivers  # audit every declared waiver
+//! cargo run -p detlint -- --quiet         # summary only
+//! cargo run -p detlint -- --root <dir> --json <path>
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived violations, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    list_waivers: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint [--root <dir>] [--json <path>] [--list-waivers] [--quiet]"
+}
+
+/// The workspace root: `--root`, else two levels above this crate's
+/// manifest (cargo sets `CARGO_MANIFEST_DIR` for `cargo run`), else cwd.
+fn default_root() -> PathBuf {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let md = PathBuf::from(md);
+        if let Some(ws) = md.ancestors().nth(2) {
+            if ws.join("Cargo.toml").is_file() {
+                return ws.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        json: None,
+        list_waivers: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a value")?));
+            }
+            "--list-waivers" => args.list_waivers = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match detlint::scan(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed under {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_waivers {
+        print!("{}", report.render_waivers());
+        return ExitCode::SUCCESS;
+    }
+    let json_path = args
+        .json
+        .unwrap_or_else(|| args.root.join("target").join("detlint.json"));
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("detlint: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("detlint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    print!("{}", report.render_text(args.quiet));
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -291,6 +291,7 @@ impl Engine {
 
     /// Sum of KV tokens currently held (proxy for memory pressure).
     pub fn kv_tokens_held(&self) -> usize {
+        // detlint: allow(unordered-iter) — commutative integer sum; iteration order cannot affect the result
         self.requests.values().map(|r| r.table.tokens()).sum()
     }
 
@@ -304,6 +305,7 @@ impl Engine {
     /// Every request the engine is currently responsible for, in id order
     /// (deterministic). Used by the platform to drain a crashed TE.
     pub fn active_request_ids(&self) -> Vec<RequestId> {
+        // detlint: allow(unordered-iter) — collected and sorted on the next line; hash order never escapes
         let mut ids: Vec<RequestId> = self.requests.keys().copied().collect();
         ids.sort_unstable();
         ids
@@ -774,6 +776,7 @@ impl Engine {
                     let blk = self
                         .rtc
                         .append_block()
+                        // detlint: allow(panic) — unreachable: the quiescence gate checked next_appends <= free before entering this batch; a mid-batch allocation failure would mean the pool accounting itself is broken
                         .expect("fast-forward pre-checked a pool hit");
                     new_blocks[i].push(blk);
                     *s = self.cfg.block_size - 1;

@@ -19,6 +19,8 @@
 //! mixed with decode), prefill-only, and decode-only TEs, with KV handoff
 //! planned by DistFlow.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod config;
 pub mod distflow;

@@ -16,7 +16,7 @@
 use crate::block::BlockId;
 use crate::tokenizer::TokenId;
 use simcore::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Node handle within one tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,7 +45,10 @@ fn chain_hash(prev: u64, block_tokens: &[TokenId]) -> u64 {
 #[derive(Debug)]
 struct Node {
     parent: Option<NodeId>,
-    children: HashMap<u64, NodeId>,
+    /// Child edges keyed by chained block hash. A `BTreeMap`: subtree
+    /// removal and frontier scans iterate it, and the freed-block order
+    /// feeds the allocator (and through it, reports).
+    children: BTreeMap<u64, NodeId>,
     block: BlockId,
     location: Location,
     /// Chained hash of the prefix ending at this node.
@@ -86,7 +89,7 @@ pub struct RadixTree {
     block_size: usize,
     nodes: Vec<Option<Node>>,
     free_slots: Vec<u32>,
-    roots: HashMap<u64, NodeId>,
+    roots: BTreeMap<u64, NodeId>,
     node_count: usize,
 }
 
@@ -102,7 +105,7 @@ impl RadixTree {
             block_size,
             nodes: Vec::new(),
             free_slots: Vec::new(),
-            roots: HashMap::new(),
+            roots: BTreeMap::new(),
             node_count: 0,
         }
     }
@@ -125,12 +128,14 @@ impl RadixTree {
     fn node(&self, id: NodeId) -> &Node {
         self.nodes[id.0 as usize]
             .as_ref()
+            // detlint: allow(panic) — arena invariant: NodeIds only flow through children/roots maps, which are pruned in the same operation that vacates a slot; a stale id is a tree-corruption bug worth failing loudly on
             .expect("stale NodeId: node was removed")
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
         self.nodes[id.0 as usize]
             .as_mut()
+            // detlint: allow(panic) — arena invariant: see `node` above
             .expect("stale NodeId: node was removed")
     }
 
@@ -202,7 +207,7 @@ impl RadixTree {
                 None => {
                     let id = self.alloc_node(Node {
                         parent,
-                        children: HashMap::new(),
+                        children: BTreeMap::new(),
                         block: blocks[i],
                         location: Location::Npu,
                         hash,
@@ -323,7 +328,8 @@ impl RadixTree {
                 return None;
             }
             subtree.push(n);
-            // Deterministic order: sort children by hash.
+            // Children come out in hash-key order; sort by NodeId to keep
+            // the historical traversal (and thus block-release) order.
             let mut kids: Vec<NodeId> = node.children.values().copied().collect();
             kids.sort_unstable();
             stack.extend(kids);
@@ -344,9 +350,10 @@ impl RadixTree {
         // Release every node.
         let mut freed = Vec::with_capacity(subtree.len());
         for n in subtree {
-            let node = self.nodes[n.0 as usize]
-                .take()
-                .expect("subtree nodes are live");
+            let Some(node) = self.nodes[n.0 as usize].take() else {
+                debug_assert!(false, "subtree nodes must be live");
+                continue;
+            };
             freed.push((node.block, node.location));
             self.free_slots.push(n.0);
             self.node_count -= 1;

@@ -117,6 +117,7 @@ impl ExecCostModel {
     /// [`Parallelism::validate`]).
     pub fn new(chip: ChipSpec, tp_link: LinkSpec, model: ModelSpec, par: Parallelism) -> Self {
         if let Err(e) = par.validate(&model) {
+            // detlint: allow(panic) — construction-time config validation, documented under # Panics; failing fast here beats simulating a physically impossible parallelism
             panic!("ExecCostModel: invalid parallelism for {}: {e}", model.name);
         }
         ExecCostModel {

@@ -13,6 +13,8 @@
 //! * [`weights`] — safetensors-style checkpoint layout: contiguous,
 //!   mmap-able per-rank byte ranges plus the fixed tensor-init overhead.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod parallel;
 pub mod spec;

@@ -18,6 +18,10 @@ use crate::specs::{ClusterSpec, NpuId};
 use simcore::{FlowId, SharedLink, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 
+// detlint note: `flow_owner` stays a HashMap — it is only ever used for
+// point lookups (insert/remove by key), never iterated, so hash order
+// cannot leak anywhere.
+
 /// Which tier a transfer rides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkKind {
@@ -49,7 +53,9 @@ struct TransferState {
 pub struct Fabric {
     spec: ClusterSpec,
     ports: BTreeMap<PortKey, SharedLink>,
-    transfers: HashMap<TransferId, TransferState>,
+    /// In-flight transfers, iterated on the completion path — a `BTreeMap`
+    /// so completion order is id order by construction.
+    transfers: BTreeMap<TransferId, TransferState>,
     flow_owner: HashMap<(PortKey, FlowId), TransferId>,
     next_id: u64,
 }
@@ -60,7 +66,7 @@ impl Fabric {
         Fabric {
             spec,
             ports: BTreeMap::new(),
-            transfers: HashMap::new(),
+            transfers: BTreeMap::new(),
             flow_owner: HashMap::new(),
             next_id: 0,
         }
@@ -163,14 +169,13 @@ impl Fabric {
     /// order.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<TransferId> {
         let mut done_transfers = Vec::new();
-        // Immediate local copies.
-        let mut locals: Vec<TransferId> = self
+        // Immediate local copies (BTreeMap iteration is already id order).
+        let locals: Vec<TransferId> = self
             .transfers
             .iter()
             .filter(|(_, t)| t.pending_flows == 0)
             .map(|(&id, _)| id)
             .collect();
-        locals.sort_unstable();
         for id in locals {
             self.transfers.remove(&id);
             done_transfers.push(id);
@@ -178,20 +183,18 @@ impl Fabric {
         // Drain ports in deterministic key order.
         let keys: Vec<PortKey> = self.ports.keys().copied().collect();
         for key in keys {
-            let finished = self
-                .ports
-                .get_mut(&key)
-                .expect("key from iteration")
-                .advance_to(now);
-            for flow in finished {
-                let id = self
-                    .flow_owner
-                    .remove(&(key, flow))
-                    .expect("completed flow must belong to a transfer");
-                let state = self
-                    .transfers
-                    .get_mut(&id)
-                    .expect("flow owner must be in-flight");
+            let Some(link) = self.ports.get_mut(&key) else {
+                continue; // keys collected from this map two lines above
+            };
+            for flow in link.advance_to(now) {
+                let Some(id) = self.flow_owner.remove(&(key, flow)) else {
+                    debug_assert!(false, "completed flow must belong to a transfer");
+                    continue;
+                };
+                let Some(state) = self.transfers.get_mut(&id) else {
+                    debug_assert!(false, "flow owner must be in-flight");
+                    continue;
+                };
                 state.pending_flows -= 1;
                 if state.pending_flows == 0 {
                     self.transfers.remove(&id);

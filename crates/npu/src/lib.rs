@@ -14,6 +14,8 @@
 //! * [`pagecache`] — host DRAM page cache for safetensors weight loading
 //!   (DRAM-hit vs DRAM-miss vs preloading, Figure 9).
 
+#![forbid(unsafe_code)]
+
 pub mod fabric;
 pub mod hccl;
 pub mod pagecache;

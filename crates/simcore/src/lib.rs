@@ -28,6 +28,8 @@
 //! in an order it fully determines (see `deepserve`'s parallel stepping) —
 //! the kernel never hides a thread or a lock behind this API.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod fault;
 pub mod metrics;

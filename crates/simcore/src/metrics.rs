@@ -68,8 +68,7 @@ impl Samples {
         }
         let q = q.clamp(0.0, 1.0);
         if !self.sorted {
-            self.values
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            self.values.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
@@ -192,11 +191,7 @@ impl TimeSeries {
         let total = end.since(first).as_nanos() as f64;
         let mut acc = 0.0;
         for (i, &(t, v)) in self.points.iter().enumerate() {
-            let next_t = self
-                .points
-                .get(i + 1)
-                .map(|&(nt, _)| nt.max_of(t))
-                .unwrap_or(end);
+            let next_t = self.points.get(i + 1).map_or(end, |&(nt, _)| nt.max_of(t));
             let next_t = if next_t > end { end } else { next_t };
             if next_t > t {
                 acc += v * next_t.since(t).as_nanos() as f64;
@@ -407,7 +402,9 @@ impl MetricsRegistry {
     pub fn add(&mut self, id: MetricId, n: u64) {
         match &mut self.entries[id.0].1 {
             Metric::Counter(v) => *v += n,
-            other => panic!("MetricsRegistry::add on a {}", other.kind()),
+            other => {
+                debug_assert!(false, "MetricsRegistry::add on a {}", other.kind());
+            }
         }
     }
 
@@ -420,7 +417,9 @@ impl MetricsRegistry {
     pub fn record(&mut self, id: MetricId, value: f64) {
         match &mut self.entries[id.0].1 {
             Metric::Samples(s) => s.record(value),
-            other => panic!("MetricsRegistry::record on a {}", other.kind()),
+            other => {
+                debug_assert!(false, "MetricsRegistry::record on a {}", other.kind());
+            }
         }
     }
 
@@ -428,7 +427,9 @@ impl MetricsRegistry {
     pub fn record_at(&mut self, id: MetricId, t: SimTime, value: f64) {
         match &mut self.entries[id.0].1 {
             Metric::Series(s) => s.record(t, value),
-            other => panic!("MetricsRegistry::record_at on a {}", other.kind()),
+            other => {
+                debug_assert!(false, "MetricsRegistry::record_at on a {}", other.kind());
+            }
         }
     }
 

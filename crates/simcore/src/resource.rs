@@ -14,7 +14,7 @@
 //!   comes from.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier for an in-flight flow on a [`SharedLink`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,7 +104,10 @@ struct Flow {
 pub struct SharedLink {
     capacity: f64,
     latency: SimDuration,
-    flows: HashMap<FlowId, Flow>,
+    /// In-flight flows. A `BTreeMap` so every iteration (min-remaining
+    /// scan, completion drain) runs in `FlowId` order — flow completion
+    /// order feeds transfer completion order, which feeds reports.
+    flows: BTreeMap<FlowId, Flow>,
     last_update: SimTime,
     next_id: u64,
 }
@@ -129,7 +132,7 @@ impl SharedLink {
         SharedLink {
             capacity,
             latency,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_update: SimTime::ZERO,
             next_id: 0,
         }
@@ -218,13 +221,13 @@ impl SharedLink {
     /// Panics if `now` precedes the last update.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowId> {
         self.drain_to(now);
-        let mut done: Vec<FlowId> = self
+        // BTreeMap iteration is already id order — no sort needed.
+        let done: Vec<FlowId> = self
             .flows
             .iter()
             .filter(|(_, f)| f.remaining <= COMPLETION_EPSILON)
             .map(|(&id, _)| id)
             .collect();
-        done.sort_unstable();
         for id in &done {
             self.flows.remove(id);
         }

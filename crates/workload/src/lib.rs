@@ -18,6 +18,8 @@
 //! platform can materialize identical token streams deterministically
 //! without this crate depending on any tokenizer.
 
+#![forbid(unsafe_code)]
+
 pub mod traces;
 
 pub use traces::{BurstLoad, ChatTrace, CodeGenTrace, FixedShape, ReqSpec, SharedPrefixChat};

@@ -4,6 +4,8 @@
 //! integration tests can `use deepserve_repro::...`. See `README.md` for the
 //! architecture overview and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use deepserve;
 pub use flowserve;
 pub use llm_model;

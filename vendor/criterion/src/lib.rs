@@ -7,6 +7,8 @@
 //! per-iteration mean/min report on stdout. No statistics engine, plots, or
 //! baselines — enough to compare hot-path costs run over run.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

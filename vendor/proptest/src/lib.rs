@@ -9,6 +9,8 @@
 //! No shrinking: a failing case reports its assertion message and panics.
 //! Case count defaults to 32 and can be raised via `PROPTEST_CASES`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Why a single generated case did not pass.

@@ -8,6 +8,8 @@
 //! tagged enums, objects for named-field structs), so swapping the real
 //! crates back in later changes no output shape.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 pub mod value;

@@ -3,6 +3,8 @@
 //! uses: `to_string`, `to_string_pretty`, `to_value`, and `from_str`
 //! (returning a dynamically typed [`Value`]).
 
+#![forbid(unsafe_code)]
+
 pub use serde::value::{Number, ParseError, Value};
 
 /// Error type mirroring `serde_json::Error`'s role in signatures.
