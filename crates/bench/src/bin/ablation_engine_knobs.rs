@@ -30,11 +30,21 @@ fn run_chat(cfg: ClusterConfig, roles: &[TeRole], seed: u64, rps: f64) -> (f64, 
     let mut sim = ClusterSim::new(cfg, roles);
     sim.inject(materialize_trace(&trace, 64_000));
     let mut report = sim.run_to_completion();
-    (
-        report.latency.ttft_ms().mean,
-        report.latency.tpot_ms().mean,
-        report.latency.jct_ms().mean,
-    )
+    // Fault-free run: an empty latency distribution here is a broken
+    // setup, not a zero-latency miracle — fail loudly instead of writing
+    // fabricated zeros into the artifact.
+    let ttft = report
+        .latency
+        .ttft_ms()
+        .non_empty()
+        .expect("no completions");
+    let tpot = report
+        .latency
+        .tpot_ms()
+        .non_empty()
+        .expect("no completions");
+    let jct = report.latency.jct_ms().non_empty().expect("no completions");
+    (ttft.mean, tpot.mean, jct.mean)
 }
 
 fn main() {

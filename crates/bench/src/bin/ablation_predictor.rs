@@ -38,11 +38,19 @@ fn run(accuracy: Option<f64>, label: String, rows: &mut Vec<Row>) {
     let mut sim = ClusterSim::new(cfg, &roles);
     sim.inject(materialize_trace(&trace, 64_000));
     let mut report = sim.run_to_completion();
+    // Fault-free run: empty stats mean a broken setup — fail loudly
+    // rather than writing fabricated zeros into the artifact.
+    let jct = report.latency.jct_ms().non_empty().expect("no completions");
+    let tpot = report
+        .latency
+        .tpot_ms()
+        .non_empty()
+        .expect("no completions");
     let r = Row {
         predictor: label,
-        jct_mean_ms: report.latency.jct_ms().mean,
-        jct_p99_ms: report.latency.jct_ms().p99,
-        tpot_mean_ms: report.latency.tpot_ms().mean,
+        jct_mean_ms: jct.mean,
+        jct_p99_ms: jct.p99,
+        tpot_mean_ms: tpot.mean,
     };
     println!(
         "{:>12} {:>12.0} {:>12.0} {:>12.1}",

@@ -45,12 +45,19 @@ fn main() {
         let mut sim = ClusterSim::new(cfg, &[TeRole::Colocated; 3]);
         sim.inject(materialize_trace(&trace, 64_000));
         let mut report = sim.run_to_completion();
-        let ttft = report.latency.ttft_ms();
+        // Fault-free run: empty stats mean a broken setup — fail loudly
+        // rather than writing fabricated zeros into the artifact.
+        let ttft = report
+            .latency
+            .ttft_ms()
+            .non_empty()
+            .expect("no completions");
+        let jct = report.latency.jct_ms().non_empty().expect("no completions");
         let r = Row {
             policy: name,
             ttft_mean_ms: ttft.mean,
             ttft_p99_ms: ttft.p99,
-            jct_mean_ms: report.latency.jct_ms().mean,
+            jct_mean_ms: jct.mean,
             throughput_tok_s: report.throughput(),
         };
         println!(

@@ -37,21 +37,29 @@ struct Cell {
     completed: u64,
     failed: u64,
     goodput_rps: f64,
-    ttft_p99_ms: f64,
-    jct_p99_ms: f64,
+    /// `None` when no request completed in this cell — an all-fail cell
+    /// must serialize as `null`, not as a fabricated perfect latency.
+    ttft_p99_ms: Option<f64>,
+    jct_p99_ms: Option<f64>,
     detected: u64,
     repaired: u64,
     requeued: u64,
     requeue_cache_hit_tokens: u64,
-    repair_latency_ms_mean: f64,
+    /// `None` when no repair finished (e.g. the zero-fault baseline).
+    repair_latency_ms_mean: Option<f64>,
 }
 
 #[derive(Serialize, Default)]
 struct Output {
     baseline_goodput_rps: f64,
-    baseline_ttft_p99_ms: f64,
-    baseline_jct_p99_ms: f64,
+    baseline_ttft_p99_ms: Option<f64>,
+    baseline_jct_p99_ms: Option<f64>,
     cells: Vec<Cell>,
+}
+
+/// Renders an optional statistic for the console table (`-` = no data).
+fn opt(ms: Option<f64>) -> String {
+    ms.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
 }
 
 fn run_cell(rate: f64, miss_threshold: u32) -> Cell {
@@ -82,7 +90,8 @@ fn run_cell(rate: f64, miss_threshold: u32) -> Cell {
     let repair_mean = report
         .metrics
         .summary("cluster.repair_latency_ms")
-        .map_or(0.0, |s| s.mean);
+        .and_then(simcore::Summary::non_empty)
+        .map(|s| s.mean);
     Cell {
         crash_rate_per_sec: rate,
         miss_threshold,
@@ -90,8 +99,8 @@ fn run_cell(rate: f64, miss_threshold: u32) -> Cell {
         completed: done,
         failed: sim.failed(),
         goodput_rps: goodput,
-        ttft_p99_ms: report.latency.ttft_ms().p99,
-        jct_p99_ms: report.latency.jct_ms().p99,
+        ttft_p99_ms: report.latency.ttft_ms().non_empty().map(|s| s.p99),
+        jct_p99_ms: report.latency.jct_ms().non_empty().map(|s| s.p99),
         detected: report.counters.get("cluster.detected_down"),
         repaired: report.counters.get("cluster.repaired"),
         requeued: report.counters.get("sim.requeued"),
@@ -109,8 +118,10 @@ fn main() {
     out.baseline_ttft_p99_ms = baseline.ttft_p99_ms;
     out.baseline_jct_p99_ms = baseline.jct_p99_ms;
     println!(
-        "baseline (no faults): goodput {:.3} req/s, TTFT p99 {:.0} ms, JCT p99 {:.0} ms",
-        baseline.goodput_rps, baseline.ttft_p99_ms, baseline.jct_p99_ms
+        "baseline (no faults): goodput {:.3} req/s, TTFT p99 {} ms, JCT p99 {} ms",
+        baseline.goodput_rps,
+        opt(baseline.ttft_p99_ms),
+        opt(baseline.jct_p99_ms)
     );
 
     println!(
@@ -129,16 +140,16 @@ fn main() {
         for &miss in &[1u32, 3, 5] {
             let cell = run_cell(rate, miss);
             println!(
-                "{:>10.3} {:>6} {:>8} {:>10.3} {:>8} {:>11.0} {:>10.0} {:>9} {:>9.0}",
+                "{:>10.3} {:>6} {:>8} {:>10.3} {:>8} {:>11} {:>10} {:>9} {:>9}",
                 cell.crash_rate_per_sec,
                 cell.miss_threshold,
                 cell.crashes_planned,
                 cell.goodput_rps,
                 cell.completed,
-                cell.ttft_p99_ms,
-                cell.jct_p99_ms,
+                opt(cell.ttft_p99_ms),
+                opt(cell.jct_p99_ms),
                 cell.requeued,
-                cell.repair_latency_ms_mean,
+                opt(cell.repair_latency_ms_mean),
             );
             out.cells.push(cell);
         }

@@ -104,9 +104,19 @@ fn main() {
                     ("metrics".into(), report.metrics.to_json()),
                 ]));
             }
-            let ttft = report.latency.ttft_ms();
-            let tpot = report.latency.tpot_ms();
-            let jct = report.latency.jct_ms();
+            // Fault-free run: empty stats mean a broken setup — fail
+            // loudly rather than writing fabricated zeros.
+            let ttft = report
+                .latency
+                .ttft_ms()
+                .non_empty()
+                .expect("no completions");
+            let tpot = report
+                .latency
+                .tpot_ms()
+                .non_empty()
+                .expect("no completions");
+            let jct = report.latency.jct_ms().non_empty().expect("no completions");
             let p = Point {
                 setup: name,
                 rps,

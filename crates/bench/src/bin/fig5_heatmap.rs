@@ -41,7 +41,14 @@ fn cell_jct(roles: &[TeRole], prefill: usize, decode: u32, rps: f64, seed: u64) 
     let mut sim = ClusterSim::new(cfg, roles);
     sim.inject(materialize_trace(&trace, 64_000));
     let mut report = sim.run_to_completion();
-    report.latency.jct_ms().mean
+    // Fault-free cell: fail loudly on an empty distribution rather than
+    // writing a fabricated zero into the heatmap.
+    report
+        .latency
+        .jct_ms()
+        .non_empty()
+        .expect("no completions")
+        .mean
 }
 
 #[derive(Serialize)]

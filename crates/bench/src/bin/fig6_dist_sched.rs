@@ -54,8 +54,14 @@ fn run(policy: Policy, rps: f64, seed: u64, threads: usize) -> Point {
     sim.set_threads(threads);
     sim.inject(materialize_trace(&trace, 64_000));
     let mut report = sim.run_to_completion();
-    let jct = report.latency.jct_ms();
-    let tpot = report.latency.tpot_ms();
+    // Fault-free run: empty stats mean a broken setup — fail loudly
+    // rather than writing fabricated zeros into the artifact.
+    let jct = report.latency.jct_ms().non_empty().expect("no completions");
+    let tpot = report
+        .latency
+        .tpot_ms()
+        .non_empty()
+        .expect("no completions");
     Point {
         policy: match policy {
             Policy::RoundRobin => "RR",

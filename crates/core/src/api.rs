@@ -6,7 +6,7 @@
 //! task, in a prefill–decode-disaggregated setup it is two.
 
 use flowserve::{CacheId, RequestId, TokenId};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use simcore::{SimDuration, SimTime};
 
 /// Service-level objectives attached to a request class.
@@ -94,6 +94,119 @@ impl ApiRequest {
     /// Ratio of decode length to prefill length (the heatmap x-axis).
     pub fn decode_ratio(&self, predicted_decode: u32) -> f64 {
         predicted_decode as f64 / self.prompt.len().max(1) as f64
+    }
+}
+
+/// One live-ingress event: everything needed to replay a gateway
+/// submission deterministically. The arrival stamp is the *final* one the
+/// sim chose (strictly increasing, collision-free), so `inject`ing the
+/// materialized requests into a fresh sim reproduces the live run
+/// bit-for-bit. Only chat completions flow through the gateway today, so
+/// the endpoint/SLO class is implied rather than recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngressRecord {
+    /// Request id (gateway-assigned, unique per run).
+    pub id: u64,
+    /// Final arrival stamp in integer sim nanoseconds.
+    pub arrival_ns: u64,
+    /// Tokenized prompt.
+    pub prompt: Vec<TokenId>,
+    /// Requested output length.
+    pub target_output: u32,
+    /// Session context-cache id, if the session layer assigned one.
+    pub cache_id: Option<u64>,
+}
+
+impl IngressRecord {
+    /// Captures a request at the moment it is accepted into the sim.
+    pub fn from_request(req: &ApiRequest) -> Self {
+        IngressRecord {
+            id: req.id.0,
+            arrival_ns: req.arrival.as_nanos(),
+            prompt: req.prompt.clone(),
+            target_output: req.target_output,
+            cache_id: req.cache_id.map(|c| c.0),
+        }
+    }
+
+    /// Materializes the recorded submission for replay.
+    pub fn to_request(&self) -> ApiRequest {
+        let mut req = ApiRequest::chat(
+            self.id,
+            self.prompt.clone(),
+            self.target_output,
+            SimTime::ZERO + SimDuration::from_nanos(self.arrival_ns),
+        );
+        req.cache_id = self.cache_id.map(CacheId);
+        req
+    }
+
+    /// Parses one record from its JSON form. Errors name the missing or
+    /// ill-typed field so a hand-edited session log fails loudly.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("field {k:?} must be an unsigned integer"))
+        };
+        let prompt = field("prompt")?
+            .as_array()
+            .ok_or_else(|| "field \"prompt\" must be an array".to_string())?
+            .iter()
+            .map(|t| {
+                t.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(TokenId)
+                    .ok_or_else(|| "prompt tokens must be u32".to_string())
+            })
+            .collect::<Result<Vec<TokenId>, String>>()?;
+        let cache_id = match v.get("cache_id") {
+            None | Some(Value::Null) => None,
+            Some(c) => Some(
+                c.as_u64()
+                    .ok_or_else(|| "field \"cache_id\" must be an unsigned integer".to_string())?,
+            ),
+        };
+        Ok(IngressRecord {
+            id: num("id")?,
+            arrival_ns: num("arrival_ns")?,
+            prompt,
+            target_output: u32::try_from(num("target_output")?)
+                .map_err(|_| "field \"target_output\" must fit in u32".to_string())?,
+            cache_id,
+        })
+    }
+}
+
+impl Serialize for IngressRecord {
+    fn to_value(&self) -> Value {
+        use serde::value::Number;
+        Value::Object(vec![
+            ("id".to_string(), Value::Number(Number::U64(self.id))),
+            (
+                "arrival_ns".to_string(),
+                Value::Number(Number::U64(self.arrival_ns)),
+            ),
+            (
+                "prompt".to_string(),
+                Value::Array(
+                    self.prompt
+                        .iter()
+                        .map(|&t| Value::Number(Number::U64(u64::from(t.0))))
+                        .collect(),
+                ),
+            ),
+            (
+                "target_output".to_string(),
+                Value::Number(Number::U64(u64::from(self.target_output))),
+            ),
+            (
+                "cache_id".to_string(),
+                self.cache_id
+                    .map_or(Value::Null, |c| Value::Number(Number::U64(c))),
+            ),
+        ])
     }
 }
 

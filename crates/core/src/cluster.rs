@@ -8,7 +8,7 @@
 //! TE's PCIe channel, and the JE's global prompt trees stay in sync with
 //! TE-side cache insertions.
 
-use crate::api::ApiRequest;
+use crate::api::{ApiRequest, IngressRecord};
 use crate::heatmap::Heatmap;
 use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 use crate::manager::{HealthConfig, HealthMonitor};
@@ -43,6 +43,50 @@ pub enum TeRole {
     Prefill,
     /// Decode half of a disaggregated pair.
     Decode,
+}
+
+/// A streaming notification surfaced to a live frontend (the gateway).
+/// Purely additive observability: buffering these never changes scheduling,
+/// stats, or counters, so a replay with live mode off is bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveEvent {
+    /// First output token (prefill finished) for `id` at sim time `at`.
+    FirstToken { id: RequestId, at: SimTime },
+    /// `n` further output tokens for `id`, the last at sim time `at`.
+    /// Emitted only when [`ClusterSim::set_token_events`] is on; a
+    /// fast-forward window reports all absorbed iterations in one batch.
+    Tokens { id: RequestId, at: SimTime, n: u32 },
+    /// `id` finished; `output_tokens` counts the whole stream.
+    Finished {
+        id: RequestId,
+        at: SimTime,
+        output_tokens: u64,
+    },
+    /// `id` failed permanently (rejected, or recovery retries exhausted).
+    Failed { id: RequestId, at: SimTime },
+}
+
+/// State for live (gateway-fed) ingress. See the "Serving façade" section
+/// of DESIGN.md for the determinism contract this upholds.
+struct LiveState {
+    /// Every pending event time — a mirror of the queue, maintained by
+    /// `sched`/`note_popped`. Live arrivals are bumped off any occupied
+    /// instant so a (time, seq) tie can never order an arrival differently
+    /// between the live run and its replay.
+    pending: TimeMultiset,
+    /// Most recent accepted arrival instant; live arrivals are strictly
+    /// increasing so the replayed workload is sorted and collision-free.
+    last_arrival: SimTime,
+    /// The ingress log: every accepted submission with its final (bumped)
+    /// arrival stamp. `inject`ing these into a fresh sim replays the live
+    /// run bit-for-bit.
+    ingress: Vec<IngressRecord>,
+    /// Notifications buffered since the last `take_live_events`.
+    events: Vec<LiveEvent>,
+    /// Wall frontier while inside `step_until`: fast-forward may absorb
+    /// iterations ending at or before this instant but never beyond it,
+    /// and batch collection must not pop wakes past it.
+    pace_limit: Option<SimTime>,
 }
 
 /// Cluster-simulation configuration.
@@ -242,11 +286,42 @@ impl RunReport {
 /// every [`ClusterSim`] starts from it and [`ClusterSim::set_threads`]
 /// overrides per instance. Results are bit-identical at any thread count —
 /// the knob only trades wall-clock for cores.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if `DEEPSERVE_THREADS` is set to anything but
+/// a positive integer (see [`parse_threads`]). A typo like
+/// `DEEPSERVE_THREADS=fourr` or `=0` used to be silently swallowed into a
+/// single-threaded run — a config error must fail loudly at startup, not
+/// quietly misattribute every benchmark number.
 pub fn default_threads() -> usize {
-    std::env::var("DEEPSERVE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map_or(1, |n| n.max(1))
+    let Ok(raw) = std::env::var("DEEPSERVE_THREADS") else {
+        return 1;
+    };
+    match parse_threads(&raw) {
+        Ok(n) => n,
+        // detlint: allow(panic) — operator configuration boundary: an unparseable DEEPSERVE_THREADS must abort startup with a diagnostic, not silently degrade to single-threaded
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// Parses a `DEEPSERVE_THREADS` value. Empty or all-whitespace input is
+/// treated as unset (1 = sequential); anything else must be a positive
+/// integer. Split out of [`default_threads`] so the rejection paths are
+/// testable without mutating process-global environment state.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(1);
+    }
+    match t.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "DEEPSERVE_THREADS must be a positive integer (worker threads \
+             for parallel stepping; results are bit-identical at any \
+             count), got {raw:?}"
+        )),
+    }
 }
 
 /// The serving cluster.
@@ -329,6 +404,11 @@ pub struct ClusterSim {
     salvaged_counters: Counters,
     /// Tracing config, replayed onto replacement engines.
     trace_cfg: Option<(TraceLevel, usize)>,
+    /// Live (gateway-fed) ingress state; `None` for offline trace replay.
+    live: Option<LiveState>,
+    /// Whether engines emit per-iteration `Tokens` events (replayed onto
+    /// replacement engines after a repair).
+    token_events: bool,
 }
 
 impl ClusterSim {
@@ -461,6 +541,8 @@ impl ClusterSim {
             salvaged_traces: Vec::new(),
             salvaged_counters: Counters::new(),
             trace_cfg: None,
+            live: None,
+            token_events: false,
         }
     }
 
@@ -563,15 +645,22 @@ impl ClusterSim {
         if self.bounds_horizon(ev) {
             self.horizon_times.insert(at);
         }
+        if let Some(live) = &mut self.live {
+            live.pending.insert(at);
+        }
         self.clock.schedule(at, ev);
     }
 
-    /// Bookkeeping for a popped event: drops its horizon-bounding entry.
-    /// Every pop (main loop, batch collection, merge drain) must pair with
-    /// this or the horizon would stay pinned at a past instant.
+    /// Bookkeeping for a popped event: drops its horizon-bounding entry
+    /// (and, in live mode, its all-pending-times mirror entry). Every pop
+    /// (main loop, batch collection, merge drain) must pair with this or
+    /// the horizon would stay pinned at a past instant.
     fn note_popped(&mut self, now: SimTime, ev: Event) {
         if self.bounds_horizon(ev) {
             self.horizon_times.remove(now);
+        }
+        if let Some(live) = &mut self.live {
+            live.pending.remove(now);
         }
     }
 
@@ -593,6 +682,168 @@ impl ClusterSim {
             self.arrivals.push(r);
             self.sched(at, Event::Arrival(idx));
         }
+    }
+
+    /// Switches the sim into live-ingress mode: requests arrive one at a
+    /// time via [`ClusterSim::submit_live`], time advances in bounded
+    /// slices via [`ClusterSim::step_until`], and every accepted
+    /// submission is appended to a replayable ingress log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything was already scheduled or injected — the live
+    /// pending-times mirror must observe every event from the start.
+    pub fn enable_live_ingress(&mut self) {
+        assert!(
+            self.clock.peek_time().is_none() && self.arrivals.is_empty(),
+            "enable_live_ingress must be called on a fresh sim"
+        );
+        self.live = Some(LiveState {
+            pending: TimeMultiset::new(),
+            last_arrival: SimTime::ZERO,
+            ingress: Vec::new(),
+            events: Vec::new(),
+            pace_limit: None,
+        });
+    }
+
+    /// Submits one live request. `req.arrival` is the caller's wall-clock
+    /// mapping of "now" in sim time; the sim may move it later — never
+    /// earlier — so that arrivals are strictly increasing, strictly after
+    /// the current instant, and never collide with any pending event time
+    /// (a (time, seq) tie could order live and replay runs differently).
+    /// Returns the final arrival stamp, which is what the ingress log
+    /// records and what a replay will use verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`ClusterSim::enable_live_ingress`], or on a
+    /// duplicate request id.
+    pub fn submit_live(&mut self, mut req: ApiRequest) -> SimTime {
+        assert!(
+            self.live.is_some(),
+            "submit_live requires enable_live_ingress()"
+        );
+        assert!(
+            !self.arrival_index.contains_key(&req.id),
+            "duplicate live request id {:?}",
+            req.id
+        );
+        let one = SimDuration::from_nanos(1);
+        let floor = self.clock.now() + one;
+        let (at, idx) = {
+            let Some(live) = self.live.as_mut() else {
+                unreachable!("asserted above");
+            };
+            let mut at = req.arrival.max_of(floor).max_of(live.last_arrival + one);
+            while live.pending.contains(at) {
+                at += one;
+            }
+            live.last_arrival = at;
+            req.arrival = at;
+            live.ingress.push(IngressRecord::from_request(&req));
+            let idx = self.arrivals.len() as u32;
+            self.arrival_index.insert(req.id, idx);
+            self.arrivals.push(req);
+            (at, idx)
+        };
+        self.sched(at, Event::Arrival(idx));
+        at
+    }
+
+    /// Processes every event due at or before `limit`, then stops; the
+    /// queue keeps everything later. Fast-forward absorption and parallel
+    /// batch collection are clamped to `limit` for the duration, so the
+    /// execution is the same event-for-event prefix the unclamped run
+    /// would produce. Returns the next pending event time, if any — the
+    /// caller's cue for how long to sleep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cumulative event budget is exceeded (livelock guard),
+    /// like [`ClusterSim::run_to_completion`].
+    pub fn step_until(&mut self, limit: SimTime) -> Option<SimTime> {
+        if let Some(live) = &mut self.live {
+            live.pace_limit = Some(limit);
+        }
+        let mut processed: u64 = 0;
+        while self.clock.peek_time().is_some_and(|t| t <= limit) {
+            let Some((now, ev)) = self.clock.next() else {
+                break; // unreachable: peek_time above returned Some
+            };
+            self.note_popped(now, ev);
+            processed += match ev {
+                Event::Wake(te)
+                    if self.threads > 1 && self.tes[te.0 as usize].role != TeRole::Prefill =>
+                {
+                    self.step_wake_batch(now, te)
+                }
+                _ => {
+                    self.handle(now, ev);
+                    1
+                }
+            };
+            assert!(
+                self.events_processed + processed < self.event_budget,
+                "cluster sim exceeded event budget (livelock?)"
+            );
+        }
+        if let Some(live) = &mut self.live {
+            live.pace_limit = None;
+        }
+        self.events_processed += processed;
+        let id = self.metrics.counter("sim.events_processed");
+        self.metrics.add(id, processed);
+        self.clock.peek_time()
+    }
+
+    /// The earliest pending event time (the live loop's sleep target).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.clock.peek_time()
+    }
+
+    /// Drains the live notifications buffered since the last call.
+    /// Empty (and free) outside live mode.
+    pub fn take_live_events(&mut self) -> Vec<LiveEvent> {
+        self.live
+            .as_mut()
+            .map(|l| std::mem::take(&mut l.events))
+            .unwrap_or_default()
+    }
+
+    /// The ingress log so far: every accepted live submission with its
+    /// final arrival stamp, in arrival order. Empty outside live mode.
+    pub fn ingress_log(&self) -> &[IngressRecord] {
+        self.live.as_ref().map_or(&[], |l| l.ingress.as_slice())
+    }
+
+    /// Turns per-iteration token notifications on for every engine
+    /// (surfaced as [`LiveEvent::Tokens`]; replacement engines provisioned
+    /// by repairs inherit the setting). Purely additive: reports stay
+    /// bit-identical either way.
+    pub fn set_token_events(&mut self, on: bool) {
+        self.token_events = on;
+        for te in &mut self.tes {
+            te.engine.set_token_events(on);
+        }
+    }
+
+    /// A point-in-time JSON snapshot of the metrics registry with every
+    /// component's counters folded in — the `/metrics` endpoint. Works on
+    /// a clone: `Summary` computation sorts sample values in place, and
+    /// perturbing the registry's internal order mid-run would break the
+    /// live-vs-replay byte identity of the final report.
+    pub fn metrics_snapshot_json(&self) -> serde::Value {
+        let mut snap = self.metrics.clone();
+        snap.import_counters(&self.counters);
+        snap.import_counters(self.je.counters());
+        snap.import_counters(self.distflow.counters());
+        snap.import_counters(&self.salvaged_counters);
+        for te in &self.tes {
+            snap.import_counters(te.engine.counters());
+            snap.import_counters(te.engine.rtc().counters());
+        }
+        snap.to_json()
     }
 
     /// Arms the fault layer: schedules every event in `plan` into the
@@ -915,9 +1166,16 @@ impl ClusterSim {
 
     fn current_pacing(&self) -> Pacing {
         if self.fast_forward {
-            Pacing::FastForward {
-                horizon: self.horizon_times.min(),
+            let mut horizon = self.horizon_times.min();
+            // Live pacing: clamp absorption to the wall frontier. The
+            // fence sits one nanosecond past the limit so an iteration
+            // ending exactly at the limit (which `step_until` would still
+            // process) can be absorbed, but nothing beyond it.
+            if let Some(limit) = self.live.as_ref().and_then(|l| l.pace_limit) {
+                let fence = limit + SimDuration::from_nanos(1);
+                horizon = Some(horizon.map_or(fence, |h| h.min(fence)));
             }
+            Pacing::FastForward { horizon }
         } else {
             Pacing::SingleStep
         }
@@ -981,14 +1239,21 @@ impl ClusterSim {
         member.resize(n_tes, false);
         member[first_te.0 as usize] = true;
         batch.push((first_t, first_te, false));
-        while let Some((_, &Event::Wake(te))) = self.clock.peek() {
+        // Live pacing: never collect a wake past the wall frontier — the
+        // sequential `step_until` loop would stop before it.
+        let pace_limit = self.live.as_ref().and_then(|l| l.pace_limit);
+        while let Some((t, &Event::Wake(te))) = self.clock.peek() {
             let idx = te.0 as usize;
             if self.tes[idx].role == TeRole::Prefill || member[idx] {
                 break;
             }
-            let Some((t, _)) = self.clock.pop_pending() else {
+            if pace_limit.is_some_and(|limit| t > limit) {
+                break;
+            }
+            let Some((t, ev)) = self.clock.pop_pending() else {
                 break; // unreachable: peek above returned Some
             };
+            self.note_popped(t, ev);
             member[idx] = true;
             batch.push((t, te, false));
         }
@@ -1108,7 +1373,16 @@ impl ClusterSim {
                         self.je.note_cached(now, te_id, false, &new);
                     }
                 }
-                let _ = at;
+                if let Some(live) = &mut self.live {
+                    live.events.push(LiveEvent::FirstToken { id, at });
+                }
+            }
+            EngineEvent::Tokens { id, at, n } => {
+                // Streaming-only notification; no scheduling or stats
+                // bookkeeping hangs off it.
+                if let Some(live) = &mut self.live {
+                    live.events.push(LiveEvent::Tokens { id, at, n });
+                }
             }
             EngineEvent::PrefillComplete { id, at, kv_tokens } => {
                 let role = self.tes[te_id.0 as usize].role;
@@ -1147,6 +1421,13 @@ impl ClusterSim {
                 self.completed += 1;
                 self.last_completion = now;
                 self.counters.incr("sim.completed");
+                if let Some(live) = &mut self.live {
+                    live.events.push(LiveEvent::Finished {
+                        id,
+                        at: now,
+                        output_tokens: latency.output_tokens,
+                    });
+                }
             }
             EngineEvent::Rejected { id } => {
                 self.counters.incr("sim.rejected");
@@ -1476,6 +1757,7 @@ impl ClusterSim {
         if let Some((level, cap)) = self.trace_cfg {
             old.enable_tracing(level, cap);
         }
+        old.set_token_events(self.token_events);
         std::mem::swap(&mut self.tes[idx].engine, &mut old);
         self.tes[idx].epoch += 1;
         self.tes[idx].scheduled_wake = None;
@@ -1604,6 +1886,9 @@ impl ClusterSim {
         self.failed += 1;
         self.counters.incr("sim.failed");
         self.last_completion = self.last_completion.max_of(now);
+        if let Some(live) = &mut self.live {
+            live.events.push(LiveEvent::Failed { id, at: now });
+        }
         if self.tracer.is_enabled() {
             self.tracer.event(
                 now,

@@ -32,9 +32,13 @@ pub mod predictor;
 pub mod prompt_tree;
 pub mod scaling;
 
-pub use api::{materialize, materialize_trace, ApiRequest, Endpoint, Job, JobKind, Slo, TaskKind};
+pub use api::{
+    materialize, materialize_trace, ApiRequest, Endpoint, IngressRecord, Job, JobKind, Slo,
+    TaskKind,
+};
 pub use cluster::{
-    default_threads, ClusterConfig, ClusterSim, FaultRecoveryConfig, RunReport, TeRole,
+    default_threads, parse_threads, ClusterConfig, ClusterSim, FaultRecoveryConfig, LiveEvent,
+    RunReport, TeRole,
 };
 pub use heatmap::Heatmap;
 pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};

@@ -10,7 +10,10 @@ use crate::api::ApiRequest;
 use simcore::SimRng;
 
 /// Predicts how many tokens a request will decode.
-pub trait DecodePredictor {
+///
+/// `Send` is required so a whole [`crate::ClusterSim`] can move across
+/// threads (the gateway runs one in a serving thread).
+pub trait DecodePredictor: Send {
     /// A human-readable name for reports.
     fn name(&self) -> &'static str;
     /// Predicted decode length for `req`.

@@ -37,8 +37,19 @@ pub const RULES: [&str; 6] = [
 ];
 
 /// Crates whose non-test code feeds reports/traces: hash-order iteration
-/// and panics are banned there (rules `unordered-iter`, `panic`).
-pub const REPORT_CRATES: [&str; 6] = ["simcore", "flowserve", "npu", "core", "model", "workload"];
+/// and panics are banned there (rules `unordered-iter`, `panic`). The
+/// gateway qualifies because its live run must replay bit-identically
+/// from the session log — a panic or hash-order dependency in the serving
+/// path would break that contract exactly like one in the simulator.
+pub const REPORT_CRATES: [&str; 7] = [
+    "simcore",
+    "flowserve",
+    "npu",
+    "core",
+    "model",
+    "workload",
+    "gateway",
+];
 
 /// The one module allowed to spawn threads (the cluster coordinator).
 pub const THREAD_ALLOWED: &str = "crates/core/src/cluster.rs";

@@ -27,6 +27,8 @@ fn fixture_violations_exact() {
         .map(|v| (v.file.clone(), v.line, v.rule.clone()))
         .collect();
     let expected: Vec<(String, usize, String)> = [
+        ("crates/gateway/src/facade.rs", 4, "panic"),
+        ("crates/gateway/src/facade.rs", 9, "unordered-iter"),
         ("crates/simcore/src/bad_iter.rs", 10, "unordered-iter"),
         ("crates/simcore/src/bad_waiver.rs", 2, "bad-waiver"),
         ("crates/simcore/src/bad_waiver.rs", 3, "bad-waiver"),
@@ -42,7 +44,7 @@ fn fixture_violations_exact() {
     .map(|(f, l, r)| (f.to_string(), *l, r.to_string()))
     .collect();
     assert_eq!(got, expected, "violation set must match the corpus exactly");
-    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.files_scanned, 13);
     assert!(!report.is_clean());
 }
 
@@ -53,6 +55,10 @@ fn fixture_diagnostics_render_exact() {
 
     // One exact diagnostic block per rule.
     for block in [
+        "crates/gateway/src/facade.rs:4: [panic] `unwrap()`: library code must degrade \
+         gracefully (debug_assert + fallback) instead of panicking\n    v.unwrap()\n",
+        "crates/gateway/src/facade.rs:9: [unordered-iter] `for … in sessions`: \
+         `sessions` is a HashMap/HashSet — iteration order is the hasher's, not the program's\n",
         "crates/simcore/src/bad_iter.rs:10: [unordered-iter] `for … in self.loads`: \
          `loads` is a HashMap/HashSet — iteration order is the hasher's, not the program's\n    \
          for (_, v) in &self.loads {\n",
@@ -89,7 +95,7 @@ fn fixture_diagnostics_render_exact() {
 
     // Summary footer.
     assert!(
-        text.contains("detlint: 12 file(s) scanned, 10 violation(s), 8 waiver(s)"),
+        text.contains("detlint: 13 file(s) scanned, 12 violation(s), 9 waiver(s)"),
         "summary mismatch:\n{text}"
     );
 }
@@ -97,7 +103,7 @@ fn fixture_diagnostics_render_exact() {
 #[test]
 fn fixture_waiver_audit() {
     let report = scan(&fixture_root()).expect("fixture scan");
-    assert_eq!(report.waivers.len(), 8);
+    assert_eq!(report.waivers.len(), 9);
 
     let by_loc: Vec<(&str, usize, &str, bool, bool)> = report
         .waivers
@@ -113,6 +119,13 @@ fn fixture_waiver_audit() {
         })
         .collect();
     let expected = [
+        (
+            "crates/gateway/src/facade.rs",
+            16,
+            "wall-clock",
+            true,
+            false,
+        ),
         (
             "crates/simcore/src/bad_iter.rs",
             17,
@@ -140,7 +153,11 @@ fn fixture_waiver_audit() {
     );
 
     let audit = report.render_waivers();
-    assert!(audit.starts_with("8 waiver(s) declared:\n"));
+    assert!(audit.starts_with("9 waiver(s) declared:\n"));
+    assert!(audit.contains(
+        "crates/gateway/src/facade.rs:16: allow(wall-clock) — \
+         the facade's sole sim-to-wall bridge"
+    ));
     assert!(audit.contains(
         "crates/simcore/src/bad_iter.rs:17: allow(unordered-iter) — \
          commutative sum; order is irrelevant"
@@ -190,7 +207,7 @@ fn json_report_round_trips() {
     );
     assert_eq!(
         value.get("files_scanned").and_then(|v| v.as_u64()),
-        Some(12)
+        Some(13)
     );
 
     let violations = value
@@ -202,23 +219,20 @@ fn json_report_round_trips() {
     let first = &violations[0];
     assert_eq!(
         first.get("file").and_then(|v| v.as_str()),
-        Some("crates/simcore/src/bad_iter.rs")
+        Some("crates/gateway/src/facade.rs")
     );
-    assert_eq!(first.get("line").and_then(|v| v.as_u64()), Some(10));
-    assert_eq!(
-        first.get("rule").and_then(|v| v.as_str()),
-        Some("unordered-iter")
-    );
+    assert_eq!(first.get("line").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(first.get("rule").and_then(|v| v.as_str()), Some("panic"));
     assert_eq!(
         first.get("snippet").and_then(|v| v.as_str()),
-        Some("for (_, v) in &self.loads {")
+        Some("v.unwrap()")
     );
 
     let waivers = value
         .get("waivers")
         .and_then(|v| v.as_array())
         .expect("waivers array");
-    assert_eq!(waivers.len(), 8);
+    assert_eq!(waivers.len(), 9);
     assert_eq!(waivers[0].get("used").and_then(|v| v.as_bool()), Some(true));
 
     // Per-rule tallies: all six rules, in declaration order.

@@ -43,6 +43,20 @@ pub enum EngineEvent {
         /// Emission time.
         at: SimTime,
     },
+    /// Incremental decode progress: `n` more output tokens exist for `id`
+    /// as of `at`. Emitted only when [`Engine::set_token_events`] enabled
+    /// streaming (live serving); single-step iterations report `n == 1`,
+    /// a committed fast-forward window reports all absorbed tokens at
+    /// once. The first output token is reported by `FirstToken`, not here.
+    Tokens {
+        /// Which request.
+        id: RequestId,
+        /// Progress timestamp (iteration boundary that produced the last
+        /// of these tokens).
+        at: SimTime,
+        /// Newly generated output tokens.
+        n: u32,
+    },
     /// A request finished all decoding (or was migrated out).
     Finished {
         /// Which request.
@@ -167,6 +181,10 @@ pub struct Engine {
     req_spans: HashMap<RequestId, SpanId>,
     /// Iteration wall-time multiplier (1.0 = healthy; > 1.0 = straggler).
     slowdown: f64,
+    /// Emit [`EngineEvent::Tokens`] progress events (live streaming).
+    /// Purely additive: no engine state, stat, or counter depends on it,
+    /// so a run with streaming on is bit-identical to one with it off.
+    token_events: bool,
     /// Scratch copy of `running_decode` for `form_batch` (reused every
     /// iteration so the hot path allocates nothing).
     scratch_ids: Vec<RequestId>,
@@ -220,6 +238,7 @@ impl Engine {
             tracer: Tracer::disabled(),
             req_spans: HashMap::new(),
             slowdown: 1.0,
+            token_events: false,
             scratch_ids: Vec::new(),
             scratch_candidates: Vec::new(),
             spare_decode_ids: Vec::new(),
@@ -300,6 +319,14 @@ impl Engine {
     /// at least 0.01 so a bad factor cannot make time run backwards.
     pub fn set_slowdown(&mut self, factor: f64) {
         self.slowdown = factor.max(0.01);
+    }
+
+    /// Enables (or disables) [`EngineEvent::Tokens`] streaming progress
+    /// events. Off by default; live serving frontends turn it on to drive
+    /// SSE streams. The flag changes only what is *reported*, never what
+    /// is computed — replays with streaming off stay bit-identical.
+    pub fn set_token_events(&mut self, on: bool) {
+        self.token_events = on;
     }
 
     /// Every request the engine is currently responsible for, in id order
@@ -637,7 +664,7 @@ impl Engine {
             self.start_iteration(now);
         }
         if let Pacing::FastForward { horizon } = pacing {
-            self.fast_forward(horizon);
+            self.fast_forward(horizon, events);
         }
     }
 
@@ -674,7 +701,7 @@ impl Engine {
     /// Fallbacks: stragglers (`slowdown != 1.0`) and full-level tracing
     /// (which wants every per-token event) single-step unconditionally;
     /// any quiescence violation absorbs nothing.
-    fn fast_forward(&mut self, horizon: Option<SimTime>) {
+    fn fast_forward(&mut self, horizon: Option<SimTime>, events: &mut Vec<EngineEvent>) {
         // Cheapest rejection first: if an external event pops at or before
         // the first boundary, nothing can be absorbed — skip all window
         // setup (this is the common case while arrivals are streaming in).
@@ -815,6 +842,13 @@ impl Engine {
                 req.table
                     .extend_from_slice(&new_blocks[i], absorbed as usize);
                 new_blocks[i].clear();
+                if self.token_events {
+                    events.push(EngineEvent::Tokens {
+                        id,
+                        at: it.ends_at,
+                        n: absorbed as u32,
+                    });
+                }
             }
             self.stats.iterations += absorbed;
             self.stats.busy += busy_acc;
@@ -1152,6 +1186,9 @@ impl Engine {
             }
             req.generated += 1;
             self.stats.output_tokens += 1;
+            if self.token_events {
+                events.push(EngineEvent::Tokens { id, at, n: 1 });
+            }
             let done = req.decode_done();
             if done {
                 req.finished_at = Some(at);

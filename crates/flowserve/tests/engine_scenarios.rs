@@ -99,7 +99,7 @@ impl Driver {
                 EngineEvent::PrefillComplete { id, at, kv_tokens } => {
                     self.prefill_complete.push((id, at, kv_tokens))
                 }
-                EngineEvent::Rejected { .. } => {}
+                EngineEvent::Rejected { .. } | EngineEvent::Tokens { .. } => {}
             }
         }
         true

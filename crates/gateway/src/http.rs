@@ -1,0 +1,318 @@
+//! Minimal HTTP/1.1 request parsing and response framing.
+//!
+//! The container is offline, so there is no tokio/axum/hyper: the gateway
+//! speaks just enough HTTP/1.1 over `std::net` for an OpenAI-style
+//! completions API. The parser is incremental — callers feed it a growing
+//! byte buffer and get back `NeedMore` until a full request (head plus
+//! `Content-Length` body) has arrived — and every malformed input maps to
+//! a status code, never a panic (house de-panic style).
+
+/// Upper bound on the request head (request line + headers). A client
+/// still inside the head past this limit is sent `431`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body; larger declared or delivered bodies are
+/// rejected with `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request. Header names are lowercased; values are trimmed.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, without query string.
+    pub path: String,
+    /// `(lowercased name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request-level error with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable reason, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Convenience constructor.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Incremental parse outcome for one connection buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// A complete request, plus the number of buffer bytes it consumed.
+    Complete(Box<Request>, usize),
+    /// The buffer can never become a valid request; answer and close.
+    Invalid(HttpError),
+}
+
+/// Parses the front of `buf` as an HTTP/1.1 request.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::Invalid(HttpError::new(431, "request head too large"));
+        }
+        return Parse::NeedMore;
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Parse::Invalid(HttpError::new(431, "request head too large"));
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parse::Invalid(HttpError::new(400, "request head is not UTF-8")),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Parse::Invalid(HttpError::new(400, "malformed request line"));
+    };
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Parse::Invalid(HttpError::new(400, "malformed request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parse::Invalid(HttpError::new(505, "unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Invalid(HttpError::new(400, "malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match header_value(&headers, "content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Parse::Invalid(HttpError::new(400, "invalid Content-Length")),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Parse::Invalid(HttpError::new(413, "request body too large"));
+    }
+    if header_value(&headers, "transfer-encoding").is_some() {
+        return Parse::Invalid(HttpError::new(501, "Transfer-Encoding is not supported"));
+    }
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Parse::NeedMore;
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Parse::Complete(
+        Box::new(Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            headers,
+            body: buf[body_start..total].to_vec(),
+        }),
+        total,
+    )
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Serializes a full response with `Content-Length` and `Connection:
+/// close` (every gateway exchange is one request per connection).
+pub fn response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {len}\r\nConnection: close\r\n\r\n",
+        reason = reason(status),
+        len = body.len(),
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// A JSON error response body for `err`.
+pub fn error_response(err: &HttpError) -> Vec<u8> {
+    let body = serde::Value::Object(vec![(
+        "error".to_string(),
+        serde::Value::Object(vec![
+            (
+                "message".to_string(),
+                serde::Value::String(err.message.clone()),
+            ),
+            (
+                "code".to_string(),
+                serde::Value::Number(serde::Number::U64(u64::from(err.status))),
+            ),
+        ]),
+    )])
+    .to_json();
+    response(err.status, "application/json", body.as_bytes())
+}
+
+/// The response head that starts a Server-Sent-Events stream. No
+/// `Content-Length`: the stream ends when the connection closes.
+pub fn sse_head() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+      Cache-Control: no-cache\r\nConnection: close\r\n\r\n"
+        .to_vec()
+}
+
+/// One SSE frame: `data: <payload>\n\n`.
+pub fn sse_frame(payload: &str) -> Vec<u8> {
+    format!("data: {payload}\n\n").into_bytes()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(s: &str) -> Parse {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = "GET /v1/models HTTP/1.1\r\nHost: x\r\n\r\n";
+        let Parse::Complete(r, used) = req(raw) else {
+            panic!("expected complete parse");
+        };
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/models");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn strips_query_string() {
+        let Parse::Complete(r, _) = req("GET /metrics?pretty=1 HTTP/1.1\r\n\r\n") else {
+            panic!("expected complete parse");
+        };
+        assert_eq!(r.path, "/metrics");
+    }
+
+    #[test]
+    fn body_waits_for_content_length() {
+        let partial = "POST /v1/completions HTTP/1.1\r\nContent-Length: 5\r\n\r\nab";
+        assert!(matches!(req(partial), Parse::NeedMore));
+        let full = "POST /v1/completions HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+        let Parse::Complete(r, _) = req(full) else {
+            panic!("expected complete parse");
+        };
+        assert_eq!(r.body, b"abcde");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+        ] {
+            let Parse::Invalid(e) = req(bad) else {
+                panic!("{bad:?} should be invalid");
+            };
+            assert_eq!(e.status, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_505() {
+        let Parse::Invalid(e) = req("GET / HTTP/2.0\r\n\r\n") else {
+            panic!("expected invalid");
+        };
+        assert_eq!(e.status, 505);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        let Parse::Invalid(e) = req(&huge) else {
+            panic!("expected invalid");
+        };
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn unterminated_giant_head_is_431() {
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        while buf.len() <= MAX_HEAD_BYTES {
+            buf.extend_from_slice(b"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        let Parse::Invalid(e) = parse_request(&buf) else {
+            panic!("expected invalid");
+        };
+        assert_eq!(e.status, 431);
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        let Parse::Invalid(e) = req("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n") else {
+            panic!("expected invalid");
+        };
+        assert_eq!(e.status, 400);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let r = String::from_utf8(response(200, "application/json", b"{}")).expect("utf8");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 2\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn sse_framing() {
+        assert_eq!(sse_frame("{\"a\":1}"), b"data: {\"a\":1}\n\n");
+        let head = String::from_utf8(sse_head()).expect("utf8");
+        assert!(head.contains("text/event-stream"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Session layer: maps caller identities to RTC context-cache ids.
+//!
+//! A multi-turn conversation resends its growing transcript as the prompt.
+//! The engine's radix tree already shares any common token prefix, but the
+//! platform's explicit context-cache path ([`flowserve::CacheId`]) lets a
+//! session *pin* its prefix KV: the session layer hands every request from
+//! the same session the same cache id, so turn N's prefill registers the
+//! chain that turn N+1 reuses (§5.2's global prompt tree / RTC pairing).
+//!
+//! A session key is whatever the client offers, in priority order: the
+//! `session` field of the request JSON, else the `Authorization` header
+//! (API key), else no session (anonymous requests still benefit from
+//! implicit radix-prefix sharing, they just never pin).
+
+use std::collections::HashMap;
+
+/// Allocates stable per-session cache ids.
+///
+/// detlint note: the map is point-lookup only (never iterated), so hash
+/// order cannot leak anywhere.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    ids: HashMap<String, u64>,
+    next: u64,
+}
+
+impl SessionTable {
+    /// An empty table; cache ids are handed out sequentially from 1.
+    pub fn new() -> Self {
+        SessionTable {
+            ids: HashMap::new(),
+            next: 1,
+        }
+    }
+
+    /// The cache id for `key`, allocating one on first sight.
+    pub fn cache_id(&mut self, key: &str) -> u64 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.ids.insert(key.to_string(), id);
+        id
+    }
+
+    /// Number of distinct sessions seen.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no session has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_id_distinct_keys_distinct_ids() {
+        let mut t = SessionTable::new();
+        let a = t.cache_id("alice");
+        let b = t.cache_id("bob");
+        assert_ne!(a, b);
+        assert_eq!(t.cache_id("alice"), a);
+        assert_eq!(t.cache_id("bob"), b);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! The live-vs-replay determinism contract, exercised without any wall
+//! clock: the live API (`enable_live_ingress` / `submit_live` /
+//! `step_until`) is driven with synthetic arrival stamps, and the
+//! recorded ingress log is replayed through `inject` +
+//! `run_to_completion`. The reports must match byte-for-byte at thread
+//! counts 1 and 4, live and replayed, fast-forward on and off.
+
+use deepserve::{ApiRequest, IngressRecord, LiveEvent};
+use deepserve_gateway::{build_sim, log};
+use flowserve::Tokenizer;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// Drives a live session: a multi-turn conversation (shared prefix +
+/// session cache id) interleaved with one-off requests, stepping sim time
+/// in bounded slices like the gateway's serve loop does.
+fn run_live(threads: usize, fast_forward: bool) -> (String, Vec<IngressRecord>, Vec<LiveEvent>) {
+    let tok = Tokenizer::default();
+    let mut sim = build_sim(2);
+    sim.set_threads(threads);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_live_ingress();
+    sim.set_token_events(true);
+
+    let mut events = Vec::new();
+    let submit = |sim: &mut deepserve::ClusterSim,
+                  id: u64,
+                  text: &str,
+                  out: u32,
+                  at: SimTime,
+                  cache: Option<u64>| {
+        let mut req = ApiRequest::chat(id, tok.tokenize(text), out, at);
+        req.cache_id = cache.map(flowserve::CacheId);
+        sim.submit_live(req)
+    };
+
+    // Turn 1 of a session, plus an anonymous request close by. The turn-1
+    // transcript must span several 16-token KV blocks so turn 2's shared
+    // prefix is radix-cacheable.
+    let turn1 = "the quick brown fox jumps over the lazy dog while seventeen \
+                 careful engineers measure every latency percentile of the \
+                 deterministic serving cluster and write the numbers down \
+                 twice for the replay comparison suite";
+    submit(&mut sim, 1, turn1, 6, at_ms(0), Some(1));
+    submit(
+        &mut sim,
+        2,
+        "an unrelated single-shot prompt",
+        4,
+        at_ms(1),
+        None,
+    );
+    events.extend(sim.take_live_events());
+    sim.step_until(at_ms(400));
+    events.extend(sim.take_live_events());
+
+    // Turn 2 resends the grown transcript (shared prefix) with the same
+    // session cache id, arriving "in the past" relative to the frontier —
+    // submit_live must bump it forward deterministically.
+    let turn2 = format!("{turn1} and now summarize the measurements in one sentence");
+    submit(&mut sim, 3, &turn2, 5, at_ms(100), Some(1));
+    sim.step_until(at_ms(900));
+    events.extend(sim.take_live_events());
+
+    // A burst that lands mid-decode of earlier requests.
+    submit(&mut sim, 4, "burst request one", 3, at_ms(901), None);
+    submit(&mut sim, 5, "burst request two", 3, at_ms(901), None);
+    sim.step_until(at_ms(1200));
+    events.extend(sim.take_live_events());
+
+    let ingress = sim.ingress_log().to_vec();
+    let mut report = sim.run_to_completion();
+    events.extend(sim.take_live_events());
+    (report.to_json().to_json(), ingress, events)
+}
+
+#[test]
+fn live_and_replay_reports_are_byte_identical_at_threads_1_and_4() {
+    let (live1, ingress, _) = run_live(1, true);
+    let (live4, ingress4, _) = run_live(4, true);
+    assert_eq!(ingress, ingress4, "ingress logs must not depend on threads");
+    assert_eq!(live1, live4, "live report must not depend on threads");
+
+    for threads in [1usize, 4] {
+        for ff in [true, false] {
+            let replayed = log::replay(&ingress, || {
+                let mut s = build_sim(2);
+                s.set_threads(threads);
+                s.set_fast_forward(ff);
+                s
+            })
+            .to_json()
+            .to_json();
+            assert_eq!(
+                live1, replayed,
+                "replay (threads={threads}, ff={ff}) must be byte-identical to the live run"
+            );
+        }
+    }
+}
+
+#[test]
+fn live_without_fast_forward_matches_live_with() {
+    let (a, ia, _) = run_live(1, true);
+    let (b, ib, _) = run_live(1, false);
+    assert_eq!(ia, ib);
+    assert_eq!(a, b, "fast-forward must not change the live report");
+}
+
+#[test]
+fn live_events_stream_is_complete_and_ordered() {
+    let (_, ingress, events) = run_live(1, true);
+    assert_eq!(ingress.len(), 5);
+
+    let mut first_seen: HashMap<u64, SimTime> = HashMap::new();
+    let mut tokens: HashMap<u64, u64> = HashMap::new();
+    let mut finished: HashMap<u64, u64> = HashMap::new();
+    for ev in &events {
+        match *ev {
+            LiveEvent::FirstToken { id, at } => {
+                assert!(
+                    first_seen.insert(id.0, at).is_none(),
+                    "duplicate first token"
+                );
+            }
+            LiveEvent::Tokens { id, at, n } => {
+                assert!(
+                    first_seen.contains_key(&id.0),
+                    "tokens before first token for {id:?}"
+                );
+                assert!(at >= first_seen[&id.0]);
+                *tokens.entry(id.0).or_insert(0) += u64::from(n);
+            }
+            LiveEvent::Finished {
+                id, output_tokens, ..
+            } => {
+                assert!(
+                    finished.insert(id.0, output_tokens).is_none(),
+                    "double finish"
+                );
+            }
+            LiveEvent::Failed { id, .. } => panic!("unexpected failure for {id:?}"),
+        }
+    }
+    for rec in &ingress {
+        let total = finished
+            .get(&rec.id)
+            .unwrap_or_else(|| panic!("request {} never finished", rec.id));
+        assert_eq!(
+            *total,
+            u64::from(rec.target_output),
+            "request {} output length",
+            rec.id
+        );
+        // Token events cover the decode stream (the first token arrives
+        // via FirstToken; Tokens events deliver the decoded ones).
+        let decoded = tokens.get(&rec.id).copied().unwrap_or(0);
+        assert!(
+            decoded + 1 >= *total,
+            "request {}: {decoded} token events for {total} outputs",
+            rec.id
+        );
+    }
+}
+
+#[test]
+fn arrival_stamps_are_strictly_increasing_and_collision_free() {
+    let (_, ingress, _) = run_live(1, true);
+    for pair in ingress.windows(2) {
+        assert!(
+            pair[1].arrival_ns > pair[0].arrival_ns,
+            "arrivals must be strictly increasing"
+        );
+    }
+}
+
+#[test]
+fn session_prefix_reuse_hits_the_cache_on_replay() {
+    let (_, ingress, _) = run_live(1, true);
+    let report = log::replay(&ingress, || build_sim(2));
+    // Turn 2 of the session resends turn 1's transcript with the same
+    // cache id — the radix cache must serve that shared prefix instead of
+    // re-prefilling it from zero.
+    assert!(
+        report.metrics.counter_value("engine.cache_hit_tokens") > 0,
+        "multi-turn session should hit the prefix cache"
+    );
+}

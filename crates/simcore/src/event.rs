@@ -270,6 +270,14 @@ impl TimeMultiset {
     pub fn is_empty(&self) -> bool {
         self.counts.is_empty()
     }
+
+    /// Whether at least one occurrence of `t` is present. Live-ingress
+    /// drivers use this to place injected arrivals on collision-free
+    /// instants so FIFO tie-breaking cannot diverge between a live run
+    /// and its replay.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.counts.contains_key(&t)
+    }
 }
 
 #[cfg(test)]

@@ -98,7 +98,12 @@ impl Samples {
         Some(hits as f64 / self.values.len() as f64)
     }
 
-    /// Summarizes the distribution.
+    /// Summarizes the distribution. An empty distribution yields a
+    /// [`Summary`] with `count == 0` and zeroed statistics in memory;
+    /// serialization makes the emptiness explicit by emitting `null` for
+    /// every statistic (a genuine 0.0 latency and "no samples" must not
+    /// be confusable in artifacts). Use [`Summary::non_empty`] before
+    /// reading the plain fields when emptiness is possible.
     pub fn summary(&mut self) -> Summary {
         Summary {
             count: self.len(),
@@ -119,7 +124,11 @@ impl Samples {
 }
 
 /// A distribution summary: count, mean and standard percentiles.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+///
+/// When `count == 0` the statistic fields hold 0.0 placeholders; the
+/// `Serialize` impl emits `null` for them so an empty distribution can
+/// never masquerade as an all-zero one in JSON artifacts.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
     pub count: usize,
     pub mean: f64,
@@ -131,8 +140,53 @@ pub struct Summary {
     pub max: f64,
 }
 
+impl Summary {
+    /// `Some(self)` iff at least one sample was recorded — the gate every
+    /// artifact writer should pass a summary through before reading the
+    /// plain `f64` fields, so "no data" serializes as `null` rather than
+    /// a fabricated zero.
+    pub fn non_empty(self) -> Option<Summary> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+impl Serialize for Summary {
+    fn to_value(&self) -> serde::Value {
+        use serde::value::{Number, Value};
+        // Same shape and field order the derive would emit, but with the
+        // statistics nulled out when the distribution is empty.
+        let stat = |x: f64| {
+            if self.count == 0 {
+                Value::Null
+            } else {
+                Value::Number(Number::F64(x))
+            }
+        };
+        Value::Object(vec![
+            (
+                "count".to_string(),
+                Value::Number(Number::U64(self.count as u64)),
+            ),
+            ("mean".to_string(), stat(self.mean)),
+            ("p50".to_string(), stat(self.p50)),
+            ("p90".to_string(), stat(self.p90)),
+            ("p95".to_string(), stat(self.p95)),
+            ("p99".to_string(), stat(self.p99)),
+            ("min".to_string(), stat(self.min)),
+            ("max".to_string(), stat(self.max)),
+        ])
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0 (no samples)");
+        }
         write!(
             f,
             "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
@@ -760,6 +814,41 @@ mod tests {
             rebuilt.series_points("kv_blocks").unwrap(),
             r.series_points("kv_blocks").unwrap()
         );
+        assert_eq!(rebuilt.to_json().to_json(), text, "export is a fixed point");
+    }
+
+    #[test]
+    fn empty_summary_serializes_nulls_not_zeros() {
+        let mut s = Samples::new();
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert!(sum.non_empty().is_none());
+        let v = serde::Serialize::to_value(&sum);
+        assert_eq!(v.get("count").and_then(serde::Value::as_u64), Some(0));
+        for field in ["mean", "p50", "p90", "p95", "p99", "min", "max"] {
+            assert!(
+                matches!(v.get(field), Some(serde::Value::Null)),
+                "empty summary field {field} must be null"
+            );
+        }
+        assert_eq!(sum.to_string(), "n=0 (no samples)");
+        // Non-empty summaries keep plain numbers.
+        s.record(2.0);
+        let sum = s.summary();
+        assert!(sum.non_empty().is_some());
+        let v = serde::Serialize::to_value(&sum);
+        assert_eq!(v.get("mean").and_then(serde::Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn empty_samples_round_trip_through_registry_json() {
+        let mut r = MetricsRegistry::new();
+        r.samples("never.recorded");
+        let text = r.to_json().to_json();
+        assert!(text.contains("null"), "empty stats must export as null");
+        let parsed = serde::Value::parse(&text).unwrap();
+        let mut rebuilt = MetricsRegistry::from_json(&parsed).unwrap();
+        assert_eq!(rebuilt.summary("never.recorded").unwrap().count, 0);
         assert_eq!(rebuilt.to_json().to_json(), text, "export is a fixed point");
     }
 
