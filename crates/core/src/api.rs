@@ -70,6 +70,9 @@ pub struct ApiRequest {
     pub slo: Slo,
     /// Explicit context-cache id to reuse/create.
     pub cache_id: Option<CacheId>,
+    /// Target model in the fleet registry; `None` = the cluster's single
+    /// pre-warmed model (the pre-fleet behaviour, unchanged).
+    pub model: Option<u32>,
 }
 
 impl ApiRequest {
@@ -83,7 +86,14 @@ impl ApiRequest {
             arrival,
             slo: Slo::chat(),
             cache_id: None,
+            model: None,
         }
+    }
+
+    /// The same request aimed at a fleet model.
+    pub fn with_model(mut self, model: u32) -> Self {
+        self.model = Some(model);
+        self
     }
 
     /// Prompt length in tokens.
@@ -115,6 +125,8 @@ pub struct IngressRecord {
     pub target_output: u32,
     /// Session context-cache id, if the session layer assigned one.
     pub cache_id: Option<u64>,
+    /// Fleet model the request targeted, if any.
+    pub model: Option<u32>,
 }
 
 impl IngressRecord {
@@ -126,6 +138,7 @@ impl IngressRecord {
             prompt: req.prompt.clone(),
             target_output: req.target_output,
             cache_id: req.cache_id.map(|c| c.0),
+            model: req.model,
         }
     }
 
@@ -138,6 +151,7 @@ impl IngressRecord {
             SimTime::ZERO + SimDuration::from_nanos(self.arrival_ns),
         );
         req.cache_id = self.cache_id.map(CacheId);
+        req.model = self.model;
         req
     }
 
@@ -168,6 +182,15 @@ impl IngressRecord {
                     .ok_or_else(|| "field \"cache_id\" must be an unsigned integer".to_string())?,
             ),
         };
+        // Absent in pre-fleet session logs; those replay as `None`.
+        let model = match v.get("model") {
+            None | Some(Value::Null) => None,
+            Some(m) => Some(
+                m.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| "field \"model\" must be a u32".to_string())?,
+            ),
+        };
         Ok(IngressRecord {
             id: num("id")?,
             arrival_ns: num("arrival_ns")?,
@@ -175,6 +198,7 @@ impl IngressRecord {
             target_output: u32::try_from(num("target_output")?)
                 .map_err(|_| "field \"target_output\" must fit in u32".to_string())?,
             cache_id,
+            model,
         })
     }
 }
@@ -206,6 +230,11 @@ impl Serialize for IngressRecord {
                 self.cache_id
                     .map_or(Value::Null, |c| Value::Number(Number::U64(c))),
             ),
+            (
+                "model".to_string(),
+                self.model
+                    .map_or(Value::Null, |m| Value::Number(Number::U64(u64::from(m)))),
+            ),
         ])
     }
 }
@@ -233,6 +262,16 @@ pub fn materialize_trace(specs: &[workloads::ReqSpec], vocab: u32) -> Vec<ApiReq
         .iter()
         .enumerate()
         .map(|(i, s)| materialize(s, i as u64, vocab))
+        .collect()
+}
+
+/// Materializes a fleet trace: sequential ids, each request tagged with
+/// its target model.
+pub fn materialize_fleet_trace(specs: &[workloads::FleetReqSpec], vocab: u32) -> Vec<ApiRequest> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| materialize(&s.spec, i as u64, vocab).with_model(s.model))
         .collect()
 }
 

@@ -9,6 +9,7 @@
 //! TE-side cache insertions.
 
 use crate::api::{ApiRequest, IngressRecord};
+use crate::fleet::{ColdStartMode, FleetConfig, LoadState, ModelRegistry};
 use crate::heatmap::Heatmap;
 use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 use crate::manager::{HealthConfig, HealthMonitor};
@@ -21,8 +22,9 @@ use flowserve::{
 };
 use llm_model::{Checkpoint, ExecCostModel, ModelSpec, Parallelism};
 use npu::fabric::{Fabric, TransferId};
-use npu::pagecache::FileId;
+use npu::pagecache::{ByteRange, FileId};
 use npu::specs::{ClusterSpec, NpuId};
+use npu::storage::{fault_time, ServerStore, Tier};
 use simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{
@@ -182,6 +184,9 @@ enum Event {
     StragglerEnd(TeId),
     /// Retry a KV migration that hit a transient DistFlow failure.
     MigrationRetry(RequestId),
+    /// A fleet checkpoint load (cold start or scale-out) completes for
+    /// model `m`.
+    ModelReady(u32),
 }
 
 struct Te {
@@ -203,6 +208,38 @@ struct Te {
     epoch: u32,
     /// Busy time salvaged from engines discarded by earlier repairs.
     prior_busy: SimDuration,
+}
+
+/// One in-flight fleet checkpoint load.
+struct InflightLoad {
+    /// TEs receiving the model, each with the engine epoch at load start;
+    /// a crash bumps the epoch and invalidates that target.
+    targets: Vec<(TeId, u32)>,
+    /// Deepest storage tier the load had to reach (labels SLA counters).
+    tier: Tier,
+    /// Covering trace span (NONE when tracing is off).
+    span: SpanId,
+}
+
+/// Fleet mode: a model registry plus per-server storage tiers and per-TE
+/// HBM residency. `None` keeps every single-model path byte-identical to
+/// pre-fleet builds.
+struct FleetState {
+    registry: ModelRegistry,
+    cfg: FleetConfig,
+    /// One DRAM-over-SSD storage stack per physical server.
+    stores: Vec<ServerStore>,
+    /// Requests parked behind a load: model -> arrival indices, FIFO.
+    /// BTreeMap so any whole-map drain is deterministic.
+    waiting: BTreeMap<u32, Vec<u32>>,
+    /// In-flight loads by model (coalesces duplicate cold starts).
+    inflight: BTreeMap<u32, InflightLoad>,
+    /// HBM-resident models per TE in LRU order (front = coldest).
+    resident: Vec<Vec<u32>>,
+    /// Weight bytes pinned per TE.
+    resident_bytes: Vec<u64>,
+    /// Per-TE pinned-weight budget, bytes; exceeding it evicts LRU models.
+    te_budget: u64,
 }
 
 struct Migration {
@@ -404,6 +441,8 @@ pub struct ClusterSim {
     salvaged_counters: Counters,
     /// Tracing config, replayed onto replacement engines.
     trace_cfg: Option<(TraceLevel, usize)>,
+    /// Model-fleet state; `None` outside fleet mode.
+    fleet: Option<FleetState>,
     /// Live (gateway-fed) ingress state; `None` for offline trace replay.
     live: Option<LiveState>,
     /// Whether engines emit per-iteration `Tokens` events (replayed onto
@@ -541,6 +580,7 @@ impl ClusterSim {
             salvaged_traces: Vec::new(),
             salvaged_counters: Counters::new(),
             trace_cfg: None,
+            fleet: None,
             live: None,
             token_events: false,
         }
@@ -1005,6 +1045,7 @@ impl ClusterSim {
                 }
             }
             Event::MigrationRetry(id) => self.on_migration_retry(now, id),
+            Event::ModelReady(m) => self.on_model_ready(now, m),
         }
     }
 
@@ -1069,6 +1110,14 @@ impl ClusterSim {
         let req = self.arrivals[idx as usize].clone();
         if self.terminal.contains(&req.id) {
             return;
+        }
+        if self.fleet.is_some() {
+            if let Some(m) = req.model {
+                // Model-tagged request: route through the fleet registry.
+                // Untagged requests keep the single-model path below.
+                self.fleet_dispatch(now, idx, m);
+                return;
+            }
         }
         let pool = self.sched_pool();
         if pool.colocated.is_empty() && pool.pairs.is_empty() {
@@ -1779,6 +1828,14 @@ impl ClusterSim {
             self.migration_retry.remove(&id);
             self.requeue(now, id);
         }
+        // Fleet residency died with the engine: the replacement comes up
+        // with empty HBM, so every model hosted here loses this replica
+        // (orphans re-dispatch through the registry and reload if needed).
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.resident[idx].clear();
+            fleet.resident_bytes[idx] = 0;
+            fleet.registry.drop_host_everywhere(te_id);
+        }
         self.start_repair(now, te_id);
     }
 
@@ -1914,6 +1971,476 @@ impl ClusterSim {
             return;
         }
         self.start_migration(now, from, id, kv_tokens, first_token_at);
+    }
+
+    // --- model fleet ------------------------------------------------------
+
+    /// Switches the sim into model-fleet mode: requests tagged with a
+    /// model index ([`ApiRequest::with_model`]) route through the registry,
+    /// paying a cold start through the storage hierarchy when the model is
+    /// not HBM-resident anywhere. Untagged requests keep the single-model
+    /// path, so a fleet sim with no tagged traffic is byte-identical to a
+    /// plain one. Call before injecting or submitting anything.
+    ///
+    /// Execution cost remains the configured engine template for every
+    /// model (the fleet layer measures cold-start economics, not per-model
+    /// decode speed — see DESIGN.md "Model fleet & storage hierarchy").
+    ///
+    /// # Panics
+    ///
+    /// Panics if any TE is not colocated: the fleet layer schedules whole
+    /// requests onto single TEs.
+    pub fn enable_fleet(&mut self, registry: ModelRegistry, cfg: FleetConfig) {
+        assert!(
+            self.tes.iter().all(|t| t.role == TeRole::Colocated),
+            "fleet mode requires an all-colocated pool"
+        );
+        let world = self.cfg.parallelism.world_size() as u64;
+        let te_budget = cfg
+            .hbm_weight_budget
+            .unwrap_or(world * self.cfg.cluster.server.chip.hbm_bytes * 7 / 10);
+        let stores = (0..self.cfg.cluster.num_servers)
+            .map(|_| ServerStore::for_server(&self.cfg.cluster.server))
+            .collect();
+        self.fleet = Some(FleetState {
+            registry,
+            cfg,
+            stores,
+            waiting: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            resident: vec![Vec::new(); self.tes.len()],
+            resident_bytes: vec![0; self.tes.len()],
+            te_budget,
+        });
+    }
+
+    /// Registry access for frontends (`/v1/models`); `None` outside fleet
+    /// mode.
+    pub fn fleet_registry(&self) -> Option<&ModelRegistry> {
+        self.fleet.as_ref().map(|f| &f.registry)
+    }
+
+    /// Pre-seeds a model's checkpoint into every server's SSD (the common
+    /// steady state: the whole fleet is staged on local SSD, only DRAM and
+    /// HBM are scarce). Deterministic setup, not a simulated action.
+    pub fn stage_fleet_on_ssd(&mut self) {
+        let Some(fleet) = self.fleet.as_mut() else {
+            return;
+        };
+        for m in 0..fleet.registry.len() as u32 {
+            let Some(entry) = fleet.registry.entry(m) else {
+                continue;
+            };
+            let (file, size) = (entry.ckpt.file, entry.ckpt.total_bytes());
+            for store in &mut fleet.stores {
+                store.prime_ssd(file, size);
+            }
+        }
+    }
+
+    /// Pre-seeds one model's checkpoint onto one server's SSD (tests and
+    /// benches shaping locality scenarios). Deterministic setup.
+    pub fn prime_model_on_server(&mut self, m: u32, server: usize) {
+        let Some(fleet) = self.fleet.as_mut() else {
+            return;
+        };
+        let Some(entry) = fleet.registry.entry(m) else {
+            return;
+        };
+        let (file, size) = (entry.ckpt.file, entry.ckpt.total_bytes());
+        if let Some(store) = fleet.stores.get_mut(server) {
+            store.prime_ssd(file, size);
+        }
+    }
+
+    fn tier_load_counter(tier: Tier) -> &'static str {
+        match tier {
+            Tier::Hbm => "fleet.loads_hbm",
+            Tier::Dram => "fleet.loads_dram",
+            Tier::Ssd => "fleet.loads_ssd",
+            Tier::Remote => "fleet.loads_remote",
+        }
+    }
+
+    fn tier_sla_counter(tier: Tier, ok: bool) -> &'static str {
+        match (tier, ok) {
+            (Tier::Hbm, true) => "fleet.cold_sla_ok.hbm",
+            (Tier::Hbm, false) => "fleet.cold_sla_miss.hbm",
+            (Tier::Dram, true) => "fleet.cold_sla_ok.dram",
+            (Tier::Dram, false) => "fleet.cold_sla_miss.dram",
+            (Tier::Ssd, true) => "fleet.cold_sla_ok.ssd",
+            (Tier::Ssd, false) => "fleet.cold_sla_miss.ssd",
+            (Tier::Remote, true) => "fleet.cold_sla_ok.remote",
+            (Tier::Remote, false) => "fleet.cold_sla_miss.remote",
+        }
+    }
+
+    /// Routes one model-tagged arrival: hot models go straight to their
+    /// least-loaded host, cold models start a checkpoint load and park the
+    /// request behind it.
+    fn fleet_dispatch(&mut self, now: SimTime, idx: u32, m: u32) {
+        let state = {
+            let Some(fleet) = self.fleet.as_ref() else {
+                return;
+            };
+            if fleet.registry.entry(m).is_none() {
+                // The gateway validates names, so an unknown index is a
+                // driver bug; fail the request rather than wedge it.
+                let id = self.arrivals[idx as usize].id;
+                self.counters.incr("fleet.unknown_model");
+                self.note_failed(now, id, "unknown_model");
+                return;
+            }
+            fleet.registry.state(m)
+        };
+        match state {
+            LoadState::Loaded => self.fleet_dispatch_hot(now, idx, m),
+            LoadState::Loading => {
+                if let Some(fleet) = self.fleet.as_mut() {
+                    fleet.waiting.entry(m).or_default().push(idx);
+                }
+                self.counters.incr("fleet.queued");
+            }
+            LoadState::Unloaded => {
+                if self.start_model_load(now, m, false) {
+                    if let Some(fleet) = self.fleet.as_mut() {
+                        fleet.waiting.entry(m).or_default().push(idx);
+                    }
+                    self.counters.incr("fleet.queued");
+                } else {
+                    // No routable TE (everything detected-down): park until
+                    // a repair restores capacity, like the single-model path.
+                    self.counters.incr("sim.dispatch_deferred");
+                    self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+                }
+            }
+        }
+    }
+
+    fn fleet_dispatch_hot(&mut self, now: SimTime, idx: u32, m: u32) {
+        let host = {
+            let Some(fleet) = self.fleet.as_ref() else {
+                return;
+            };
+            fleet
+                .registry
+                .hosts(m)
+                .iter()
+                .copied()
+                .filter(|t| !self.tes[t.0 as usize].detected)
+                .min_by_key(|&t| (self.tes[t.0 as usize].engine.load(), t))
+        };
+        let Some(host) = host else {
+            // Defensive: detection removes hosts from the registry, so a
+            // Loaded model always has a routable host. Back off if not.
+            self.counters.incr("sim.dispatch_deferred");
+            self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+            return;
+        };
+        let load = self.tes[host.0 as usize].engine.load();
+        let scale_out = {
+            let Some(fleet) = self.fleet.as_mut() else {
+                return;
+            };
+            // LRU touch: `m` is now this TE's most recently used model.
+            let lru = &mut fleet.resident[host.0 as usize];
+            if let Some(pos) = lru.iter().position(|&x| x == m) {
+                lru.remove(pos);
+                lru.push(m);
+            }
+            load >= fleet.cfg.scale_out_queue && !fleet.inflight.contains_key(&m)
+        };
+        if scale_out {
+            // Queue pressure on the hottest replica: scale the model out.
+            let _ = self.start_model_load(now, m, true);
+        }
+        self.counters.incr("fleet.dispatch_hot");
+        let req = self.arrivals[idx as usize].clone();
+        let new = NewRequest {
+            id: req.id,
+            prompt: req.prompt.clone(),
+            target_output: req.target_output,
+            arrival: req.arrival,
+            cache_id: req.cache_id,
+        };
+        self.submit_to(now, host, new);
+    }
+
+    /// Starts a checkpoint load for model `m` — a cold start, or a
+    /// scale-out onto extra TEs when `scale_out`. Returns false when no TE
+    /// can take the model right now (the caller defers the request).
+    fn start_model_load(&mut self, now: SimTime, m: u32, scale_out: bool) -> bool {
+        let (file, ckpt, hosts, mode) = {
+            let Some(fleet) = self.fleet.as_ref() else {
+                return false;
+            };
+            if fleet.inflight.contains_key(&m) {
+                return true; // coalesce with the load already in flight
+            }
+            let Some(entry) = fleet.registry.entry(m) else {
+                return false;
+            };
+            (
+                entry.ckpt.file,
+                entry.ckpt.clone(),
+                fleet.registry.hosts(m).to_vec(),
+                fleet.cfg.mode,
+            )
+        };
+        let total = ckpt.total_bytes();
+        // Candidates: routable TEs not already hosting `m`, annotated with
+        // the storage tier holding the checkpoint on their server and the
+        // current engine load. Tes iteration order is fixed, so placement
+        // is deterministic.
+        let mut candidates: Vec<(TeId, u8, usize)> = Vec::new();
+        {
+            let Some(fleet) = self.fleet.as_ref() else {
+                return false;
+            };
+            for te in &self.tes {
+                if te.detected || hosts.contains(&te.id) {
+                    continue;
+                }
+                let tier = match mode {
+                    // The baseline ignores local storage entirely.
+                    ColdStartMode::PrewarmMiss => Tier::Remote,
+                    _ => fleet.stores[te.npus[0].server].locate(file, ByteRange::new(0, total)),
+                };
+                candidates.push((te.id, tier.rank(), te.engine.load()));
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        // Locality-aware startup: the JE prefers TEs whose DRAM/SSD
+        // already holds the checkpoint.
+        let Some(primary) = self.je.place_cold_start(&candidates) else {
+            return false;
+        };
+        let mut targets = vec![primary];
+        if scale_out && mode == ColdStartMode::HierarchyMulticast {
+            // Binary-tree multicast reaches several TEs in ~log2 rounds,
+            // so one distribution wave installs up to three new replicas.
+            candidates.sort_by_key(|&(te, rank, load)| (rank, load, te));
+            for &(te, _, _) in candidates.iter().filter(|c| c.0 != primary).take(2) {
+                targets.push(te);
+            }
+        }
+        // Price the load: tier fault-in (or remote streaming) up front,
+        // then the five-step scaling pipeline onto the NPUs.
+        let (pre, path, tier) = match mode {
+            ColdStartMode::PrewarmMiss => {
+                let (latency, bandwidth) = {
+                    let Some(fleet) = self.fleet.as_ref() else {
+                        return false;
+                    };
+                    (fleet.cfg.remote.latency, fleet.cfg.remote.bandwidth)
+                };
+                let pre = latency + SimDuration::from_secs_f64(total as f64 / bandwidth);
+                (pre, LoadPath::DramMiss, Tier::Remote)
+            }
+            _ if scale_out => {
+                // Weights fork HBM-to-HBM from the live replicas; the
+                // storage hierarchy is never touched.
+                let path = if mode == ColdStartMode::HierarchyMulticast {
+                    LoadPath::Multicast {
+                        fanout: targets.len(),
+                    }
+                } else {
+                    LoadPath::NpuForkRoce { fanout: 1 }
+                };
+                (SimDuration::ZERO, path, Tier::Hbm)
+            }
+            _ => {
+                let server = self.tes[primary.0 as usize].npus[0].server;
+                let Some(fleet) = self.fleet.as_mut() else {
+                    return false;
+                };
+                let fb = fleet.stores[server].fault_in(file, ByteRange::new(0, total), total);
+                let pre = fault_time(fb, &self.cfg.cluster.server, &fleet.cfg.remote);
+                (pre, LoadPath::DramHit, fb.source)
+            }
+        };
+        // A scale-out's source replica is busy (that is why we scale);
+        // initial cold starts pull from storage, not a serving TE.
+        let source = if scale_out {
+            let busiest = hosts
+                .iter()
+                .filter(|t| !self.tes[t.0 as usize].detected)
+                .map(|t| self.tes[t.0 as usize].engine.load())
+                .max()
+                .unwrap_or(0);
+            let denom = {
+                let Some(fleet) = self.fleet.as_ref() else {
+                    return false;
+                };
+                fleet.cfg.scale_out_queue.max(1) as f64
+            };
+            SourceLoad {
+                intensity: (busiest as f64 / denom).min(1.0),
+            }
+        } else {
+            SourceLoad::idle()
+        };
+        let opts = {
+            let Some(fleet) = self.fleet.as_ref() else {
+                return false;
+            };
+            fleet.cfg.scaling
+        };
+        let scaling = ScalingModel::new(self.cfg.cluster.clone());
+        let breakdown = scaling.breakdown(&ckpt, self.cfg.parallelism, opts, path, source);
+        breakdown.emit_trace(&mut self.tracer, now + pre);
+        let total_time = pre + breakdown.total();
+
+        let span = if self.tracer.is_enabled() {
+            self.tracer.start_span(
+                now,
+                "fleet.cold_start",
+                vec![
+                    ("model", m.into()),
+                    ("target", primary.0.into()),
+                    ("fanout", targets.len().into()),
+                    ("tier", tier.as_str().into()),
+                    ("scale_out", scale_out.into()),
+                    ("pre_ms", pre.as_millis_f64().into()),
+                    ("total_ms", total_time.as_millis_f64().into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
+        self.counters.incr("fleet.cold_starts");
+        self.counters.incr(Self::tier_load_counter(tier));
+        let cs_id = self.metrics.samples("fleet.cold_start_ms");
+        self.metrics.record(cs_id, total_time.as_millis_f64());
+
+        let targets_ep: Vec<(TeId, u32)> = targets
+            .iter()
+            .map(|&t| (t, self.tes[t.0 as usize].epoch))
+            .collect();
+        {
+            let Some(fleet) = self.fleet.as_mut() else {
+                return false;
+            };
+            if !scale_out {
+                fleet.registry.set_loading(m);
+            }
+            fleet.inflight.insert(
+                m,
+                InflightLoad {
+                    targets: targets_ep,
+                    tier,
+                    span,
+                },
+            );
+        }
+        self.sched(now + total_time, Event::ModelReady(m));
+        true
+    }
+
+    /// A fleet checkpoint load lands: install the model on every target
+    /// that survived the load window, then drain the queue behind it.
+    fn on_model_ready(&mut self, now: SimTime, m: u32) {
+        let Some(load) = self.fleet.as_mut().and_then(|f| f.inflight.remove(&m)) else {
+            return;
+        };
+        self.tracer.end_span(now, load.span);
+        let valid: Vec<TeId> = load
+            .targets
+            .iter()
+            .filter(|&&(te, epoch)| {
+                let t = &self.tes[te.0 as usize];
+                t.alive && !t.detected && t.epoch == epoch
+            })
+            .map(|&(te, _)| te)
+            .collect();
+        if valid.is_empty() {
+            // Every target crashed mid-load; the checkpoint never lands.
+            // Waiters re-dispatch immediately and the first one restarts
+            // the load on whatever capacity remains.
+            self.counters.incr("fleet.loads_aborted");
+            let waiters = {
+                let Some(fleet) = self.fleet.as_mut() else {
+                    return;
+                };
+                fleet.registry.abort_loading(m);
+                fleet.waiting.remove(&m).unwrap_or_default()
+            };
+            for idx in waiters {
+                self.sched(now, Event::Redispatch(idx));
+            }
+            return;
+        }
+        for &te in &valid {
+            if let Some(fleet) = self.fleet.as_mut() {
+                fleet.registry.set_loaded(m, te);
+            }
+            self.fleet_install(now, te, m);
+        }
+        self.counters
+            .add("fleet.replicas_added", valid.len() as u64);
+        let (waiters, sla) = {
+            let Some(fleet) = self.fleet.as_mut() else {
+                return;
+            };
+            (
+                fleet.waiting.remove(&m).unwrap_or_default(),
+                fleet.cfg.cold_sla,
+            )
+        };
+        for idx in waiters {
+            let req = &self.arrivals[idx as usize];
+            if self.terminal.contains(&req.id) {
+                continue;
+            }
+            let wait = now.since(req.arrival);
+            let wid = self.metrics.samples("fleet.cold_wait_ms");
+            self.metrics.record(wid, wait.as_millis_f64());
+            self.counters
+                .incr(Self::tier_sla_counter(load.tier, wait <= sla));
+            self.dispatch(now, idx);
+        }
+    }
+
+    /// Pins `m` into `te`'s HBM residency, evicting LRU models past the
+    /// per-TE weight budget (never the model just installed).
+    fn fleet_install(&mut self, now: SimTime, te: TeId, m: u32) {
+        let idx = te.0 as usize;
+        let mut evicted: Vec<u32> = Vec::new();
+        {
+            let Some(fleet) = self.fleet.as_mut() else {
+                return;
+            };
+            let bytes = fleet.registry.entry(m).map_or(0, |e| e.spec.weight_bytes());
+            let lru = &mut fleet.resident[idx];
+            if let Some(pos) = lru.iter().position(|&x| x == m) {
+                lru.remove(pos);
+            } else {
+                fleet.resident_bytes[idx] += bytes;
+            }
+            lru.push(m);
+            while fleet.resident_bytes[idx] > fleet.te_budget && fleet.resident[idx].len() > 1 {
+                let victim = fleet.resident[idx].remove(0);
+                let vb = fleet
+                    .registry
+                    .entry(victim)
+                    .map_or(0, |e| e.spec.weight_bytes());
+                fleet.resident_bytes[idx] = fleet.resident_bytes[idx].saturating_sub(vb);
+                fleet.registry.remove_host(victim, te);
+                evicted.push(victim);
+            }
+        }
+        for victim in evicted {
+            self.counters.incr("fleet.evictions");
+            if self.tracer.is_enabled() {
+                self.tracer.event(
+                    now,
+                    "fleet.evicted",
+                    vec![("model", victim.into()), ("te", te.0.into())],
+                );
+            }
+        }
     }
 
     /// Completed / submitted counts (for progress checks in tests).

@@ -249,6 +249,27 @@ impl JobExecutor {
         self.removed.contains(&te)
     }
 
+    /// Locality-aware cold-start placement (the fleet analogue of the
+    /// locality policy): among `candidates` — `(te, storage tier rank of
+    /// the checkpoint on that TE's server, current engine load)` — prefer
+    /// the TE whose local storage already holds the model (lowest tier
+    /// rank: DRAM beats SSD beats remote), breaking ties by load, then
+    /// TeId. Removed TEs never win. Returns `None` when every candidate
+    /// is removed.
+    pub fn place_cold_start(&mut self, candidates: &[(TeId, u8, usize)]) -> Option<TeId> {
+        let &(te, rank, _) = candidates
+            .iter()
+            .filter(|(te, _, _)| !self.removed.contains(te))
+            .min_by_key(|&&(te, rank, load)| (rank, load, te))?;
+        self.counters.incr("je.cold_start_placed");
+        if rank <= 2 {
+            // DRAM (1) or SSD (2) already holds bytes locally; rank 0
+            // (HBM) only appears for scale-out from a live replica.
+            self.counters.incr("je.cold_start_local_hit");
+        }
+        Some(te)
+    }
+
     /// Algorithm 1 entry point.
     ///
     /// # Panics

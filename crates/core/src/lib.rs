@@ -20,11 +20,15 @@
 //!   of Table 2, plus the TE-Load paths (DRAM-hit/miss, NPU-fork) (§6).
 //! * [`cluster`] — the cluster simulation composing JEs, TEs, the fabric
 //!   and workloads (the testbed for Figures 4–6).
+//! * [`fleet`] — the serverless model-fleet registry: hundreds of model
+//!   endpoints, per-model load states, and cold-start pricing through the
+//!   storage hierarchy (§6.2).
 
 #![forbid(unsafe_code)]
 
 pub mod api;
 pub mod cluster;
+pub mod fleet;
 pub mod heatmap;
 pub mod je;
 pub mod manager;
@@ -33,13 +37,14 @@ pub mod prompt_tree;
 pub mod scaling;
 
 pub use api::{
-    materialize, materialize_trace, ApiRequest, Endpoint, IngressRecord, Job, JobKind, Slo,
-    TaskKind,
+    materialize, materialize_fleet_trace, materialize_trace, ApiRequest, Endpoint, IngressRecord,
+    Job, JobKind, Slo, TaskKind,
 };
 pub use cluster::{
     default_threads, parse_threads, ClusterConfig, ClusterSim, FaultRecoveryConfig, LiveEvent,
     RunReport, TeRole,
 };
+pub use fleet::{fleet_catalog, ColdStartMode, FleetConfig, LoadState, ModelEntry, ModelRegistry};
 pub use heatmap::Heatmap;
 pub use je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 pub use manager::{

@@ -93,6 +93,15 @@ pub enum LoadPath {
         /// Simultaneous target TE count.
         fanout: usize,
     },
+    /// λScale-style binary-tree multicast from a running TE: every TE
+    /// that has received the weights immediately re-sends them, so the
+    /// served population doubles each round and `fanout` targets finish
+    /// in `ceil(log2(fanout + 1))` point-to-point rounds over the
+    /// scale-out fabric.
+    Multicast {
+        /// Simultaneous target TE count.
+        fanout: usize,
+    },
 }
 
 /// What the NPU-fork source TE is busy doing (Figure 10 b/c sensitivity).
@@ -206,6 +215,9 @@ const NPU_FORK_SETUP: SimDuration = SimDuration::from_millis(150);
 /// Source-contention ceiling: dedicated AICPU keeps the slowdown small
 /// even under a fully busy source (Figure 10 b/c).
 const FORK_CONTENTION_MAX: f64 = 0.08;
+/// Multicast tree control plane: building the distribution tree and
+/// handing each round its peer list (λScale's coordinator step).
+const MULTICAST_SETUP: SimDuration = SimDuration::from_millis(200);
 
 /// Prices scale-up operations for one cluster.
 #[derive(Debug, Clone)]
@@ -276,7 +288,28 @@ impl ScalingModel {
             LoadPath::NpuForkRoce { fanout } => {
                 self.fork_time(self.cluster.roce, per_npu, fanout, source)
             }
+            LoadPath::Multicast { fanout } => self.multicast_time(per_npu, fanout, source),
         }
+    }
+
+    /// λScale binary-tree distribution over the scale-out fabric: in each
+    /// round every weight-holding TE sends its partition to one new TE,
+    /// so `fanout` targets are covered in `ceil(log2(fanout + 1))` rounds
+    /// of point-to-point transfers. Only the first round contends with
+    /// the original source's serving load — later rounds fan out from
+    /// freshly forked TEs that are not serving yet.
+    fn multicast_time(&self, per_npu: u64, fanout: usize, source: SourceLoad) -> SimDuration {
+        if fanout == 0 {
+            return TENSOR_INIT;
+        }
+        let rounds = (usize::BITS - fanout.leading_zeros()) as u64; // ceil(log2(fanout+1))
+        let hop = hccl::p2p_time(&self.cluster.roce, per_npu);
+        let contention = if self.cluster.server.chip.has_transfer_aicpu {
+            1.0 + FORK_CONTENTION_MAX * source.intensity.clamp(0.0, 1.0)
+        } else {
+            1.0 + 0.5 * source.intensity.clamp(0.0, 1.0)
+        };
+        MULTICAST_SETUP + hop.mul_f64(contention) + hop.saturating_mul(rounds - 1) + TENSOR_INIT
     }
 
     fn fork_time(
@@ -648,5 +681,71 @@ mod tests {
             m.choose_path(opts, 0, &pc, &ckpt, par, true, 1),
             LoadPath::DramHit
         ));
+    }
+
+    #[test]
+    fn multicast_rounds_grow_logarithmically() {
+        let (m, ckpt) = model();
+        let par = Parallelism::tp(4);
+        let t = |fanout| {
+            m.te_load(
+                &ckpt,
+                par,
+                LoadPath::Multicast { fanout },
+                SourceLoad::idle(),
+            )
+        };
+        // Doubling the fanout adds exactly one more p2p round.
+        let (t1, t2, t4, t8) = (t(1), t(2), t(4), t(8));
+        let round = t2 - t1;
+        assert!(round > SimDuration::ZERO);
+        assert_eq!(t4 - t2, round.saturating_mul(1));
+        assert_eq!(t8 - t4, round);
+        // 1023 targets = 10 rounds; far cheaper than 1023 sequential sends.
+        let t1023 = t(1023);
+        assert_eq!(t1023 - t1, round.saturating_mul(9));
+    }
+
+    #[test]
+    fn multicast_beats_sequential_p2p_and_tracks_broadcast_at_scale() {
+        let (m, ckpt) = model();
+        let par = Parallelism::tp(4);
+        let per_npu = ckpt.partition_bytes(par);
+        let fanout = 64;
+        let tree = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::Multicast { fanout },
+            SourceLoad::idle(),
+        );
+        // One source sending to 64 targets one after another.
+        let sequential =
+            hccl::p2p_time(&m.cluster().roce, per_npu).saturating_mul(fanout as u64) + TENSOR_INIT;
+        assert!(
+            tree < sequential.div(4),
+            "binary tree ({tree:?}) must crush sequential p2p ({sequential:?})"
+        );
+    }
+
+    #[test]
+    fn busy_multicast_source_only_slows_the_first_round() {
+        let (m, ckpt) = model();
+        let par = Parallelism::tp(4);
+        let idle = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::Multicast { fanout: 8 },
+            SourceLoad::idle(),
+        );
+        let busy = m.te_load(
+            &ckpt,
+            par,
+            LoadPath::Multicast { fanout: 8 },
+            SourceLoad { intensity: 1.0 },
+        );
+        assert!(busy > idle);
+        // The slowdown is bounded by one round's contention ceiling.
+        let hop = hccl::p2p_time(&m.cluster().roce, ckpt.partition_bytes(par));
+        assert!(busy - idle <= hop.mul_f64(FORK_CONTENTION_MAX + 1e-9));
     }
 }

@@ -1,0 +1,217 @@
+//! Directed scenarios for the model-fleet layer: cold starts through the
+//! storage hierarchy, locality-aware placement, HBM eviction, scale-out
+//! multicast, and the cold-start mode ablation.
+
+use deepserve::{
+    materialize_fleet_trace, ClusterConfig, ClusterSim, ColdStartMode, FleetConfig, LoadState,
+    ModelRegistry, TeId, TeRole,
+};
+use llm_model::ModelSpec;
+use simcore::{SimDuration, SimTime};
+use workloads::{FleetReqSpec, ReqSpec};
+
+/// A hand-shaped fleet request: model `m` arriving at `secs`.
+fn req(m: u32, secs: f64) -> FleetReqSpec {
+    FleetReqSpec {
+        model: m,
+        spec: ReqSpec {
+            arrival: SimTime::ZERO + SimDuration::from_secs_f64(secs),
+            prompt_seed: 0x5eed ^ u64::from(m),
+            prompt_len: 128,
+            shared_prefix: None,
+            output_len: 8,
+        },
+    }
+}
+
+fn small_registry(n: usize) -> ModelRegistry {
+    let mut reg = ModelRegistry::new();
+    for i in 0..n {
+        reg.register(format!("m{i}"), ModelSpec::generic_7b());
+    }
+    reg
+}
+
+fn fleet_sim(roles: usize, cfg: FleetConfig, models: usize) -> ClusterSim {
+    let mut sim = ClusterSim::new(
+        ClusterConfig::standard_34b(),
+        &vec![TeRole::Colocated; roles],
+    );
+    sim.enable_fleet(small_registry(models), cfg);
+    sim
+}
+
+#[test]
+fn cold_start_then_hot_path() {
+    let mut sim = fleet_sim(2, FleetConfig::default(), 2);
+    // Three requests for model 0: the first pays a cold start and the
+    // rest ride the loaded replica; one late request for model 1 pays its
+    // own cold start.
+    let specs = vec![req(0, 0.0), req(0, 0.5), req(0, 60.0), req(1, 120.0)];
+    sim.inject(materialize_fleet_trace(&specs, 64_000));
+    let report = sim.run_to_completion();
+
+    let (done, sub) = sim.progress();
+    assert_eq!(sub, 4);
+    assert_eq!(done + sim.failed(), sub, "conservation");
+    assert_eq!(sim.failed(), 0);
+    assert_eq!(report.counters.get("fleet.cold_starts"), 2);
+    // The two early model-0 requests queue behind the load; the 60s one
+    // hits the hot path.
+    assert!(report.counters.get("fleet.queued") >= 2);
+    assert!(report.counters.get("fleet.dispatch_hot") >= 1);
+    let reg = sim.fleet_registry().expect("fleet mode");
+    assert_eq!(reg.state(0), LoadState::Loaded);
+    assert_eq!(reg.state(1), LoadState::Loaded);
+    assert_eq!(reg.hosts(0).len(), 1);
+}
+
+#[test]
+fn duplicate_cold_starts_coalesce() {
+    let mut sim = fleet_sim(2, FleetConfig::default(), 1);
+    // A burst of requests for one unloaded model must start exactly one
+    // checkpoint load, with everyone else queueing behind it.
+    let specs: Vec<FleetReqSpec> = (0..6).map(|i| req(0, 0.001 * f64::from(i))).collect();
+    sim.inject(materialize_fleet_trace(&specs, 64_000));
+    let report = sim.run_to_completion();
+    assert_eq!(report.counters.get("fleet.cold_starts"), 1);
+    assert_eq!(report.counters.get("fleet.queued"), 6);
+    let (done, sub) = sim.progress();
+    assert_eq!((done, sim.failed()), (sub, 0));
+}
+
+#[test]
+fn locality_prefers_the_server_holding_the_checkpoint() {
+    // gen2_cluster(4) at TP4 packs two TEs per server: TEs 0-1 on server
+    // 0, TEs 2-3 on server 1. Stage the checkpoint on server 1's SSD
+    // only; the JE must start the model there, not on the lower-numbered
+    // (otherwise tie-breaking) server-0 TEs.
+    let mut sim = fleet_sim(4, FleetConfig::default(), 1);
+    sim.prime_model_on_server(0, 1);
+    sim.inject(materialize_fleet_trace(&[req(0, 0.0)], 64_000));
+    let report = sim.run_to_completion();
+    let reg = sim.fleet_registry().expect("fleet mode");
+    assert_eq!(reg.hosts(0), &[TeId(2)], "must land on server 1");
+    assert_eq!(report.counters.get("fleet.loads_ssd"), 1);
+    assert_eq!(report.metrics.counter_value("je.cold_start_local_hit"), 1);
+}
+
+#[test]
+fn hbm_pressure_evicts_lru_and_refaults_from_dram() {
+    // Budget fits one 7B replica (14 GB weights): loading model 1 evicts
+    // model 0, and model 0's return is another cold start — but its bytes
+    // are still in server DRAM, so the refault is a DRAM-tier load.
+    let cfg = FleetConfig {
+        hbm_weight_budget: Some(20 * (1u64 << 30)),
+        ..FleetConfig::default()
+    };
+    let mut sim = fleet_sim(1, cfg, 2);
+    let specs = vec![req(0, 0.0), req(1, 90.0), req(0, 180.0)];
+    sim.inject(materialize_fleet_trace(&specs, 64_000));
+    let report = sim.run_to_completion();
+
+    let (done, sub) = sim.progress();
+    assert_eq!((done, sim.failed()), (sub, 0));
+    assert_eq!(report.counters.get("fleet.cold_starts"), 3);
+    assert!(report.counters.get("fleet.evictions") >= 1);
+    assert!(
+        report.counters.get("fleet.loads_dram") >= 1,
+        "the re-load must hit the DRAM tier, not stream from remote: {:?}",
+        report.counters
+    );
+    let reg = sim.fleet_registry().expect("fleet mode");
+    assert_eq!(reg.state(0), LoadState::Loaded, "model 0 reloaded last");
+}
+
+#[test]
+fn multicast_scale_out_adds_replicas_under_pressure() {
+    let cfg = FleetConfig {
+        mode: ColdStartMode::HierarchyMulticast,
+        ..FleetConfig::default()
+    };
+    let mut sim = fleet_sim(4, cfg, 1);
+    // 64 near-simultaneous requests for one model: draining the cold-start
+    // queue pushes the single replica's engine load past the scale-out
+    // threshold, triggering a binary-tree multicast to spare TEs.
+    let specs: Vec<FleetReqSpec> = (0..64).map(|i| req(0, 0.0005 * f64::from(i))).collect();
+    sim.inject(materialize_fleet_trace(&specs, 64_000));
+    let report = sim.run_to_completion();
+
+    let (done, sub) = sim.progress();
+    assert_eq!((done, sim.failed()), (sub, 0));
+    assert!(
+        report.counters.get("fleet.replicas_added") > 1,
+        "scale-out must add replicas: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counters.get("fleet.loads_hbm") >= 1,
+        "scale-out forks HBM-to-HBM"
+    );
+    let reg = sim.fleet_registry().expect("fleet mode");
+    assert!(reg.hosts(0).len() > 1, "hosts: {:?}", reg.hosts(0));
+}
+
+#[test]
+fn hierarchy_cold_starts_beat_prewarm_miss() {
+    // Same skewed trace under both modes, fleet staged on SSD: faulting
+    // through the storage hierarchy must beat re-streaming every miss
+    // from the remote store.
+    let run = |mode: ColdStartMode| {
+        let cfg = FleetConfig {
+            mode,
+            ..FleetConfig::default()
+        };
+        let mut sim = fleet_sim(4, cfg, 6);
+        sim.stage_fleet_on_ssd();
+        let specs: Vec<FleetReqSpec> = (0..6).map(|m| req(m as u32, 10.0 * m as f64)).collect();
+        sim.inject(materialize_fleet_trace(&specs, 64_000));
+        let mut report = sim.run_to_completion();
+        let (done, sub) = sim.progress();
+        assert_eq!((done, sim.failed()), (sub, 0));
+        report
+            .metrics
+            .summary("fleet.cold_start_ms")
+            .expect("cold starts happened")
+            .mean
+    };
+    let prewarm = run(ColdStartMode::PrewarmMiss);
+    let hierarchy = run(ColdStartMode::Hierarchy);
+    assert!(
+        hierarchy < prewarm,
+        "hierarchy {hierarchy} ms vs prewarm-miss {prewarm} ms"
+    );
+}
+
+#[test]
+fn unknown_model_fails_cleanly() {
+    let mut sim = fleet_sim(2, FleetConfig::default(), 1);
+    sim.inject(materialize_fleet_trace(&[req(0, 0.0), req(7, 1.0)], 64_000));
+    let report = sim.run_to_completion();
+    let (done, sub) = sim.progress();
+    assert_eq!(sub, 2);
+    assert_eq!(done, 1);
+    assert_eq!(sim.failed(), 1, "unknown model must fail, not wedge");
+    assert_eq!(report.counters.get("fleet.unknown_model"), 1);
+}
+
+#[test]
+fn untagged_requests_keep_the_single_model_path() {
+    // A fleet sim serving only untagged requests must not touch the
+    // registry at all.
+    let mut sim = fleet_sim(2, FleetConfig::default(), 2);
+    let mut rng = simcore::SimRng::seed_from_u64(5);
+    let reqs = deepserve::materialize_trace(
+        &workloads::ChatTrace::paper(4.0).generate(&mut rng, 20),
+        64_000,
+    );
+    sim.inject(reqs);
+    let report = sim.run_to_completion();
+    let (done, sub) = sim.progress();
+    assert_eq!((done, sim.failed()), (sub, 0));
+    assert_eq!(report.counters.get("fleet.cold_starts"), 0);
+    assert_eq!(report.counters.get("fleet.dispatch_hot"), 0);
+    let reg = sim.fleet_registry().expect("fleet mode");
+    assert_eq!(reg.state(0), LoadState::Unloaded);
+    assert_eq!(reg.state(1), LoadState::Unloaded);
+}

@@ -7,12 +7,13 @@
 use std::collections::BTreeMap;
 
 use deepserve::{
-    materialize_trace, ClusterConfig, ClusterSim, FaultRecoveryConfig, Policy, TeRole,
+    fleet_catalog, materialize_fleet_trace, materialize_trace, ClusterConfig, ClusterSim,
+    ColdStartMode, FaultRecoveryConfig, FleetConfig, Policy, TeRole,
 };
 use flowserve::EngineConfig;
 use proptest::prelude::*;
 use simcore::{FaultPlan, Samples, SimDuration, SimRng, SimTime, TraceLevel};
-use workloads::ChatTrace;
+use workloads::{ChatTrace, FleetTrace};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
@@ -528,4 +529,116 @@ fn fast_forward_matches_single_step_faulted() {
     let (ss_report, ss_stream) = go(false);
     assert_eq!(ff_report, ss_report);
     assert_eq!(ff_stream, ss_stream);
+}
+
+// ---- model-fleet determinism --------------------------------------------
+//
+// The fleet layer (cold starts through the storage hierarchy, multicast
+// scale-out, HBM eviction) routes everything through `sched`, so the same
+// contract applies: report AND trace byte-identical at any thread count,
+// with fast-forward on or off, in every cold-start mode.
+
+/// One full traced fleet run over a skewed multi-model trace; returns the
+/// serialized report and the serialized lifecycle trace.
+fn run_fleet(
+    threads: usize,
+    fast_forward: bool,
+    mode: ColdStartMode,
+    seed: u64,
+    models: usize,
+    n_reqs: usize,
+) -> (String, String) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let specs = FleetTrace::skewed(models, 4.0).generate(&mut rng, n_reqs);
+    let reqs = materialize_fleet_trace(&specs, 64_000);
+    let roles = [TeRole::Colocated, TeRole::Colocated, TeRole::Colocated];
+    let mut sim = ClusterSim::new(ClusterConfig::standard_34b(), &roles);
+    sim.set_threads(threads);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+    let cfg = FleetConfig {
+        mode,
+        ..FleetConfig::default()
+    };
+    sim.enable_fleet(fleet_catalog(models), cfg);
+    sim.stage_fleet_on_ssd();
+    sim.inject(reqs);
+    let mut report = sim.run_to_completion();
+    let (done, sub) = sim.progress();
+    assert_eq!(done + sim.failed(), sub, "fleet conservation");
+    (report.to_json().to_json(), report.trace.to_json().to_json())
+}
+
+proptest! {
+    /// Random fleet workloads x thread counts x pacings x cold-start
+    /// modes: the sequential loop vs worker pools must produce
+    /// byte-identical serialized reports AND traces.
+    #[test]
+    fn fleet_runs_are_bit_identical(
+        seed in 0u64..10_000,
+        models in 3usize..24,
+        n_reqs in 8usize..32,
+        fast_forward in 0usize..2,
+        threads_idx in 0usize..3,
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [
+            ColdStartMode::PrewarmMiss,
+            ColdStartMode::Hierarchy,
+            ColdStartMode::HierarchyMulticast,
+        ][mode_idx];
+        let threads = [2usize, 4, 8][threads_idx];
+        let ff = fast_forward == 1;
+        let seq = run_fleet(1, ff, mode, seed, models, n_reqs);
+        let par = run_fleet(threads, ff, mode, seed, models, n_reqs);
+        prop_assert_eq!(&seq.0, &par.0, "fleet report diverged at {} threads", threads);
+        prop_assert_eq!(&seq.1, &par.1, "fleet trace diverged at {} threads", threads);
+    }
+}
+
+/// Directed fleet scenario: skewed 16-model trace, hierarchy cold starts.
+/// Reports and traces must not move by a byte across thread counts or
+/// fast-forward settings — and replaying the identical configuration
+/// reproduces the run exactly.
+#[test]
+fn fleet_replay_is_bit_identical_across_threads() {
+    let base = run_fleet(1, true, ColdStartMode::Hierarchy, 17, 16, 40);
+    assert_eq!(
+        base,
+        run_fleet(1, true, ColdStartMode::Hierarchy, 17, 16, 40),
+        "same seed must replay exactly"
+    );
+    for threads in [2, 4, 8] {
+        let par = run_fleet(threads, true, ColdStartMode::Hierarchy, 17, 16, 40);
+        assert_eq!(base.0, par.0, "fleet report diverged at {threads} threads");
+        assert_eq!(base.1, par.1, "fleet trace diverged at {threads} threads");
+    }
+    // Fast-forward changes how many engine iterations the trace records
+    // (macro-stepping coarsens iteration spans), so only the *report* is
+    // byte-comparable across pacings — same caveat as
+    // `fast_forward_matches_single_step_faulted`.
+    let ss = run_fleet(1, false, ColdStartMode::Hierarchy, 17, 16, 40);
+    assert_eq!(base.0, ss.0, "fast-forward diverged on the fleet path");
+}
+
+/// Same contract with multicast scale-out in play: a hot head model under
+/// a concentrated trace forks replicas mid-run, and the run still replays
+/// byte-for-byte at every thread count.
+#[test]
+fn fleet_multicast_is_bit_identical_across_threads() {
+    // Few models + real pressure so scale-out actually triggers.
+    let base = run_fleet(1, true, ColdStartMode::HierarchyMulticast, 5, 3, 60);
+    for threads in [2, 4, 8] {
+        let par = run_fleet(threads, true, ColdStartMode::HierarchyMulticast, 5, 3, 60);
+        assert_eq!(
+            base.0, par.0,
+            "multicast report diverged at {threads} threads"
+        );
+        assert_eq!(
+            base.1, par.1,
+            "multicast trace diverged at {threads} threads"
+        );
+    }
+    let ss = run_fleet(1, false, ColdStartMode::HierarchyMulticast, 5, 3, 60);
+    assert_eq!(base.0, ss.0, "fast-forward diverged with multicast");
 }

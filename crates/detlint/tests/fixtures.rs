@@ -27,6 +27,8 @@ fn fixture_violations_exact() {
         .map(|v| (v.file.clone(), v.line, v.rule.clone()))
         .collect();
     let expected: Vec<(String, usize, String)> = [
+        ("crates/core/src/fleet.rs", 9, "panic"),
+        ("crates/core/src/fleet.rs", 14, "unordered-iter"),
         ("crates/gateway/src/facade.rs", 4, "panic"),
         ("crates/gateway/src/facade.rs", 9, "unordered-iter"),
         ("crates/simcore/src/bad_iter.rs", 10, "unordered-iter"),
@@ -44,7 +46,7 @@ fn fixture_violations_exact() {
     .map(|(f, l, r)| (f.to_string(), *l, r.to_string()))
     .collect();
     assert_eq!(got, expected, "violation set must match the corpus exactly");
-    assert_eq!(report.files_scanned, 13);
+    assert_eq!(report.files_scanned, 14);
     assert!(!report.is_clean());
 }
 
@@ -55,6 +57,12 @@ fn fixture_diagnostics_render_exact() {
 
     // One exact diagnostic block per rule.
     for block in [
+        "crates/core/src/fleet.rs:9: [panic] `unwrap()`: library code must degrade \
+         gracefully (debug_assert + fallback) instead of panicking\n    \
+         self.hosts.get(&model).unwrap()[0]\n",
+        "crates/core/src/fleet.rs:14: [unordered-iter] `for … in self.hosts`: \
+         `hosts` is a HashMap/HashSet — iteration order is the hasher's, not the program's\n    \
+         for (_, tes) in &self.hosts {\n",
         "crates/gateway/src/facade.rs:4: [panic] `unwrap()`: library code must degrade \
          gracefully (debug_assert + fallback) instead of panicking\n    v.unwrap()\n",
         "crates/gateway/src/facade.rs:9: [unordered-iter] `for … in sessions`: \
@@ -95,7 +103,7 @@ fn fixture_diagnostics_render_exact() {
 
     // Summary footer.
     assert!(
-        text.contains("detlint: 13 file(s) scanned, 12 violation(s), 9 waiver(s)"),
+        text.contains("detlint: 14 file(s) scanned, 14 violation(s), 10 waiver(s)"),
         "summary mismatch:\n{text}"
     );
 }
@@ -103,7 +111,7 @@ fn fixture_diagnostics_render_exact() {
 #[test]
 fn fixture_waiver_audit() {
     let report = scan(&fixture_root()).expect("fixture scan");
-    assert_eq!(report.waivers.len(), 9);
+    assert_eq!(report.waivers.len(), 10);
 
     let by_loc: Vec<(&str, usize, &str, bool, bool)> = report
         .waivers
@@ -119,6 +127,13 @@ fn fixture_waiver_audit() {
         })
         .collect();
     let expected = [
+        (
+            "crates/core/src/fleet.rs",
+            21,
+            "unordered-iter",
+            true,
+            false,
+        ),
         (
             "crates/gateway/src/facade.rs",
             16,
@@ -153,7 +168,11 @@ fn fixture_waiver_audit() {
     );
 
     let audit = report.render_waivers();
-    assert!(audit.starts_with("9 waiver(s) declared:\n"));
+    assert!(audit.starts_with("10 waiver(s) declared:\n"));
+    assert!(audit.contains(
+        "crates/core/src/fleet.rs:21: allow(unordered-iter) — \
+         commutative count; order is irrelevant"
+    ));
     assert!(audit.contains(
         "crates/gateway/src/facade.rs:16: allow(wall-clock) — \
          the facade's sole sim-to-wall bridge"
@@ -207,7 +226,7 @@ fn json_report_round_trips() {
     );
     assert_eq!(
         value.get("files_scanned").and_then(|v| v.as_u64()),
-        Some(13)
+        Some(14)
     );
 
     let violations = value
@@ -219,20 +238,20 @@ fn json_report_round_trips() {
     let first = &violations[0];
     assert_eq!(
         first.get("file").and_then(|v| v.as_str()),
-        Some("crates/gateway/src/facade.rs")
+        Some("crates/core/src/fleet.rs")
     );
-    assert_eq!(first.get("line").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(first.get("line").and_then(|v| v.as_u64()), Some(9));
     assert_eq!(first.get("rule").and_then(|v| v.as_str()), Some("panic"));
     assert_eq!(
         first.get("snippet").and_then(|v| v.as_str()),
-        Some("v.unwrap()")
+        Some("self.hosts.get(&model).unwrap()[0]")
     );
 
     let waivers = value
         .get("waivers")
         .and_then(|v| v.as_array())
         .expect("waivers array");
-    assert_eq!(waivers.len(), 9);
+    assert_eq!(waivers.len(), 10);
     assert_eq!(waivers[0].get("used").and_then(|v| v.as_bool()), Some(true));
 
     // Per-rule tallies: all six rules, in declaration order.

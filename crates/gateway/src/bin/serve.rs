@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:8080] [--timescale 20] [--tes 2]
+//!       [--fleet-models N] [--session-capacity N]
 //!       [--max-requests N] [--max-wall-ms MS]
 //!       [--session-log PATH] [--report PATH] [--replay-check]
 //! ```
 //!
+//! `--fleet-models N` serves a registry of N model endpoints instead of
+//! the single default model: completions tagged `"model":
+//! "fleet-000-generic-7b"` cold-start their endpoint through the storage
+//! hierarchy and `/v1/models` reports per-endpoint load states.
 //! `--session-log` writes the replayable ingress log on exit;
 //! `--replay-check` re-runs the log through a fresh deterministic cluster
 //! and fails loudly unless the replayed report is byte-identical to the
 //! live run's (the determinism contract in DESIGN.md "Serving façade").
 
-use deepserve_gateway::{build_sim, log, Server, ServerConfig};
+use deepserve_gateway::{build_fleet_sim, build_sim, log, Server, ServerConfig};
 use std::process::ExitCode;
 
 struct Args {
@@ -22,6 +27,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--timescale X] [--tes N] \
+                     [--fleet-models N] [--session-capacity N] \
                      [--max-requests N] [--max-wall-ms MS] [--session-log PATH] \
                      [--report PATH] [--replay-check]";
 
@@ -73,6 +79,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--max-wall-ms must be an integer, got {v:?}"))?,
                 );
             }
+            "--fleet-models" => {
+                let v = value("--fleet-models")?;
+                args.cfg.fleet_models = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--fleet-models must be an integer, got {v:?}"))?;
+            }
+            "--session-capacity" => {
+                let v = value("--session-capacity")?;
+                args.cfg.session_capacity =
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("--session-capacity must be a positive integer, got {v:?}")
+                    })?;
+            }
             "--session-log" => args.session_log = Some(value("--session-log")?),
             "--report" => args.report = Some(value("--report")?),
             "--replay-check" => args.replay_check = true,
@@ -92,6 +111,7 @@ fn main() -> ExitCode {
         }
     };
     let tes = args.cfg.tes;
+    let fleet_models = args.cfg.fleet_models;
     let server = match Server::bind(args.cfg) {
         Ok(s) => s,
         Err(msg) => {
@@ -124,9 +144,14 @@ fn main() -> ExitCode {
         println!("live report written to {path}");
     }
     if args.replay_check {
-        let replayed = log::replay(&outcome.ingress, || build_sim(tes))
-            .to_json()
-            .to_json();
+        let fresh = || {
+            if fleet_models > 0 {
+                build_fleet_sim(tes, fleet_models)
+            } else {
+                build_sim(tes)
+            }
+        };
+        let replayed = log::replay(&outcome.ingress, fresh).to_json().to_json();
         if replayed == outcome.report_json {
             println!("replay check passed: report is byte-identical");
         } else {

@@ -27,5 +27,5 @@ pub mod session;
 
 pub use http::{HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
 pub use pacing::Pacer;
-pub use server::{build_sim, ServeOutcome, Server, ServerConfig};
-pub use session::SessionTable;
+pub use server::{build_fleet_sim, build_sim, ServeOutcome, Server, ServerConfig};
+pub use session::{SessionTable, DEFAULT_SESSION_CAPACITY};

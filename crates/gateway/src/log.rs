@@ -73,6 +73,11 @@ mod tests {
             prompt: vec![TokenId(7), TokenId(9)],
             target_output: 4,
             cache_id: if id.is_multiple_of(2) { Some(id) } else { None },
+            model: if id.is_multiple_of(3) {
+                Some(id as u32)
+            } else {
+                None
+            },
         }
     }
 

@@ -17,7 +17,10 @@
 use crate::http::{self, HttpError, Parse, Request};
 use crate::pacing::Pacer;
 use crate::session::SessionTable;
-use deepserve::{ApiRequest, ClusterConfig, ClusterSim, IngressRecord, LiveEvent, TeRole};
+use deepserve::{
+    fleet_catalog, ApiRequest, ClusterConfig, ClusterSim, FleetConfig, IngressRecord, LiveEvent,
+    ModelRegistry, TeRole,
+};
 use flowserve::{CacheId, Tokenizer};
 use serde::{Number, Value};
 use std::collections::HashMap;
@@ -45,6 +48,13 @@ pub struct ServerConfig {
     pub max_wall_ms: Option<u64>,
     /// Model name advertised by `/v1/models` and stamped on completions.
     pub model_name: String,
+    /// Serve a model fleet of this many registered endpoints instead of
+    /// the single pre-warmed model; `0` keeps the single-model gateway.
+    /// Completion bodies pick an endpoint with `"model": "<name>"`, and
+    /// `/v1/models` reports per-endpoint load states.
+    pub fleet_models: usize,
+    /// LRU cap on live sessions (see [`SessionTable`]).
+    pub session_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +68,8 @@ impl Default for ServerConfig {
             max_tokens_cap: 2048,
             max_wall_ms: None,
             model_name: "deepserve-34b".to_string(),
+            fleet_models: 0,
+            session_capacity: crate::session::DEFAULT_SESSION_CAPACITY,
         }
     }
 }
@@ -69,6 +81,17 @@ pub fn build_sim(tes: usize) -> ClusterSim {
     let cfg = ClusterConfig::standard_34b();
     let roles = vec![TeRole::Colocated; tes.max(1)];
     ClusterSim::new(cfg, &roles)
+}
+
+/// [`build_sim`] plus a fleet of `models` registered endpoints, every
+/// checkpoint staged on local SSD (the deployment the storage hierarchy
+/// assumes). A replay of a fleet session log must rebuild with the same
+/// `(tes, models)` pair.
+pub fn build_fleet_sim(tes: usize, models: usize) -> ClusterSim {
+    let mut sim = build_sim(tes);
+    sim.enable_fleet(fleet_catalog(models), FleetConfig::default());
+    sim.stage_fleet_on_ssd();
+    sim
 }
 
 /// What a finished serve run hands back: the deterministic final report
@@ -92,6 +115,9 @@ struct PendingRequest {
     emitted: u64,
     /// SSE mode (false = answer once on finish).
     streaming: bool,
+    /// Fleet endpoint name to echo in responses (None = the gateway's
+    /// single advertised model).
+    model: Option<String>,
 }
 
 #[derive(Debug)]
@@ -134,16 +160,21 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot set listener non-blocking: {e}"))?;
-        let mut sim = build_sim(cfg.tes);
+        let mut sim = if cfg.fleet_models > 0 {
+            build_fleet_sim(cfg.tes, cfg.fleet_models)
+        } else {
+            build_sim(cfg.tes)
+        };
         sim.enable_live_ingress();
         sim.set_token_events(true);
         let pacer = Pacer::new(cfg.timescale);
+        let sessions = SessionTable::with_capacity(cfg.session_capacity);
         Ok(Server {
             cfg,
             listener,
             sim,
             pacer,
-            sessions: SessionTable::new(),
+            sessions,
             tokenizer: Tokenizer::default(),
             conns: Vec::new(),
             waiters: HashMap::new(),
@@ -268,7 +299,10 @@ impl Server {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/v1/completions") => self.handle_completion(slot, req),
             ("GET", "/v1/models") => {
-                let body = models_json(&self.cfg.model_name);
+                let body = match self.sim.fleet_registry() {
+                    Some(reg) => fleet_models_json(reg),
+                    None => models_json(&self.cfg.model_name),
+                };
                 self.write_to(slot, &http::response(200, "application/json", &body));
                 self.drop_conn(slot);
             }
@@ -317,6 +351,22 @@ impl Server {
             self.drop_conn(slot);
             return;
         }
+        // Resolve the target endpoint in fleet mode. An unknown name is
+        // rejected here, before it enters the sim; requests naming the
+        // gateway's advertised single model (or naming nothing) take the
+        // untagged pre-warmed path.
+        let model_idx = match (&parsed.model, self.sim.fleet_registry()) {
+            (Some(name), Some(reg)) if name != &self.cfg.model_name => match reg.find(name) {
+                Some(m) => Some(m),
+                None => {
+                    let err = HttpError::new(404, format!("unknown model {name:?}"));
+                    self.write_to(slot, &http::error_response(&err));
+                    self.drop_conn(slot);
+                    return;
+                }
+            },
+            _ => None,
+        };
         let cache_id = parsed
             .session
             .as_deref()
@@ -326,6 +376,7 @@ impl Server {
         let prompt_tokens = tokens.len();
         let mut api = ApiRequest::chat(req_id, tokens, parsed.max_tokens, self.pacer.now_sim());
         api.cache_id = cache_id;
+        api.model = model_idx;
         self.sim.submit_live(api);
         if parsed.stream {
             self.write_to(slot, &http::sse_head());
@@ -340,6 +391,7 @@ impl Server {
                     prompt_tokens,
                     emitted: 0,
                     streaming: parsed.stream,
+                    model: model_idx.and(parsed.model),
                 });
             }
         }
@@ -377,7 +429,8 @@ impl Server {
                 return;
             }
             let text = completion_text(req_id, from, p.emitted);
-            http::sse_frame(&chunk_json(req_id, &self.cfg.model_name, &text, None).to_json())
+            let model = p.model.as_deref().unwrap_or(&self.cfg.model_name);
+            http::sse_frame(&chunk_json(req_id, model, &text, None).to_json())
         };
         self.write_to(slot, &frame);
         if self.conns[slot].is_none() {
@@ -399,7 +452,10 @@ impl Server {
         let ConnState::Pending(p) = &mut conn.state else {
             return;
         };
-        let model = self.cfg.model_name.clone();
+        let model = p
+            .model
+            .clone()
+            .unwrap_or_else(|| self.cfg.model_name.clone());
         match (total, p.streaming) {
             (Some(total), true) => {
                 // Flush any tokens the event stream did not cover, then a
@@ -477,6 +533,7 @@ struct CompletionParams {
     max_tokens: u32,
     stream: bool,
     session: Option<String>,
+    model: Option<String>,
 }
 
 fn parse_completion_body(req: &Request, cfg: &ServerConfig) -> Result<CompletionParams, HttpError> {
@@ -517,11 +574,20 @@ fn parse_completion_body(req: &Request, cfg: &ServerConfig) -> Result<Completion
         .and_then(Value::as_str)
         .map(str::to_string)
         .or_else(|| req.header("authorization").map(str::to_string));
+    let model = match v.get("model") {
+        None => None,
+        Some(m) => Some(
+            m.as_str()
+                .ok_or_else(|| HttpError::new(400, "\"model\" must be a string"))?
+                .to_string(),
+        ),
+    };
     Ok(CompletionParams {
         prompt,
         max_tokens,
         stream,
         session,
+        model,
     })
 }
 
@@ -587,6 +653,36 @@ fn models_json(model: &str) -> Vec<u8> {
                 ("object".to_string(), Value::String("model".to_string())),
             ])]),
         ),
+    ])
+    .to_json()
+    .into_bytes()
+}
+
+/// `/v1/models` in fleet mode: every registered endpoint with its live
+/// load state, so a client can see which models are warm before paying a
+/// cold start.
+fn fleet_models_json(reg: &ModelRegistry) -> Vec<u8> {
+    let data = (0..reg.len() as u32)
+        .filter_map(|m| {
+            reg.entry(m).map(|e| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::String(e.name.clone())),
+                    ("object".to_string(), Value::String("model".to_string())),
+                    (
+                        "state".to_string(),
+                        Value::String(reg.state(m).as_str().to_string()),
+                    ),
+                    (
+                        "replicas".to_string(),
+                        Value::Number(Number::U64(reg.hosts(m).len() as u64)),
+                    ),
+                ])
+            })
+        })
+        .collect();
+    Value::Object(vec![
+        ("object".to_string(), Value::String("list".to_string())),
+        ("data".to_string(), Value::Array(data)),
     ])
     .to_json()
     .into_bytes()

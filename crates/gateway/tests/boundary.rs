@@ -3,7 +3,7 @@
 //! mid-stream disconnects, and concurrent sessions. The server must
 //! answer each with the right status code and keep serving — never panic.
 
-use deepserve_gateway::{build_sim, log, ServeOutcome, Server, ServerConfig};
+use deepserve_gateway::{build_fleet_sim, build_sim, log, ServeOutcome, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::thread::{self, JoinHandle};
@@ -312,6 +312,73 @@ fn concurrent_sessions_are_served_and_replay_is_byte_identical() {
     let serialized = log::to_json(&outcome.ingress);
     let parsed = log::from_json(&serialized).expect("session log parses");
     assert_eq!(parsed, outcome.ingress);
+}
+
+#[test]
+fn fleet_gateway_cold_starts_and_reports_load_states() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        timescale: 500.0,
+        tes: 2,
+        fleet_models: 3,
+        max_wall_ms: Some(30_000),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = thread::spawn(move || server.run());
+
+    // Before any request, every endpoint is advertised unloaded.
+    let models = roundtrip(addr, b"GET /v1/models HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&models), 200);
+    assert!(models.contains("fleet-000-generic-7b"), "{models}");
+    assert!(models.contains("fleet-001-llama3-8b"), "{models}");
+    assert!(!models.contains("\"loaded\""), "{models}");
+    assert_eq!(models.matches("\"unloaded\"").count(), 3, "{models}");
+
+    // An endpoint the registry does not know is rejected up front.
+    let nope = post(
+        addr,
+        "/v1/completions",
+        None,
+        r#"{"prompt":"hi","max_tokens":2,"model":"no-such-model"}"#,
+    );
+    assert_eq!(status_of(&nope), 404, "{nope}");
+
+    // A completion against an unloaded endpoint pays the cold start
+    // in-band and still answers 200.
+    let response = post(
+        addr,
+        "/v1/completions",
+        None,
+        r#"{"prompt":"wake up the fleet","max_tokens":2,"model":"fleet-000-generic-7b"}"#,
+    );
+    assert_eq!(status_of(&response), 200, "{response}");
+    assert!(response.contains("\"text\""), "{response}");
+    assert!(
+        response.contains("\"model\":\"fleet-000-generic-7b\""),
+        "response must echo the fleet endpoint, not the default model: {response}"
+    );
+
+    // The served endpoint now advertises as loaded.
+    let models = roundtrip(addr, b"GET /v1/models HTTP/1.1\r\n\r\n");
+    assert!(models.contains("\"loaded\""), "{models}");
+
+    shutdown_server(addr);
+    let outcome = handle.join().expect("server thread");
+    assert_eq!(outcome.served, 1);
+    assert_eq!(outcome.ingress.len(), 1);
+    assert_eq!(outcome.ingress[0].model, Some(0), "model tag recorded");
+
+    // The fleet session log replays byte-for-byte through the same
+    // topology, cold start included.
+    let mut replayed = log::replay(&outcome.ingress, || build_fleet_sim(2, 3));
+    assert!(
+        replayed.counters.get("fleet.cold_starts") >= 1,
+        "replay must re-pay the cold start: {:?}",
+        replayed.counters
+    );
+    assert_eq!(replayed.to_json().to_json(), outcome.report_json);
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! counts 1 and 4, live and replayed, fast-forward on and off.
 
 use deepserve::{ApiRequest, IngressRecord, LiveEvent};
-use deepserve_gateway::{build_sim, log};
+use deepserve_gateway::{build_fleet_sim, build_sim, log};
 use flowserve::Tokenizer;
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -175,6 +175,74 @@ fn arrival_stamps_are_strictly_increasing_and_collision_free() {
             pair[1].arrival_ns > pair[0].arrival_ns,
             "arrivals must be strictly increasing"
         );
+    }
+}
+
+/// Drives a live *fleet* session: completions aimed at unloaded endpoints
+/// trigger cold starts mid-serve, a later request rides the warmed
+/// replica, and the recorded ingress log (model tags included) must
+/// replay byte-for-byte.
+fn run_live_fleet(threads: usize, fast_forward: bool) -> (String, Vec<IngressRecord>) {
+    let tok = Tokenizer::default();
+    let mut sim = build_fleet_sim(2, 3);
+    sim.set_threads(threads);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_live_ingress();
+    sim.set_token_events(true);
+
+    let submit = |sim: &mut deepserve::ClusterSim, id: u64, model: u32, at: SimTime| {
+        let req = ApiRequest::chat(id, tok.tokenize("fleet prompt body"), 3, at).with_model(model);
+        sim.submit_live(req);
+    };
+    // Model 0 is unloaded: request 1 pays the cold start.
+    submit(&mut sim, 1, 0, at_ms(0));
+    sim.step_until(at_ms(500));
+    // Model 1's cold start overlaps model 0's.
+    submit(&mut sim, 2, 1, at_ms(501));
+    // Step far enough that both loads finish, then ride the warm replica.
+    sim.step_until(at_ms(15_000));
+    submit(&mut sim, 3, 0, at_ms(15_001));
+
+    let ingress = sim.ingress_log().to_vec();
+    let mut report = sim.run_to_completion();
+    assert!(
+        report.counters.get("fleet.cold_starts") >= 2,
+        "both endpoints must cold-start: {:?}",
+        report.counters
+    );
+    (report.to_json().to_json(), ingress)
+}
+
+#[test]
+fn fleet_session_log_replays_byte_for_byte() {
+    let (live, ingress) = run_live_fleet(1, true);
+    // The log captured the model tags.
+    let models: Vec<Option<u32>> = ingress.iter().map(|r| r.model).collect();
+    assert_eq!(models, vec![Some(0), Some(1), Some(0)]);
+    // A fleet log survives serialization.
+    let parsed = log::from_json(&log::to_json(&ingress)).expect("fleet log parses");
+    assert_eq!(parsed, ingress);
+
+    // Live at 4 threads matches live at 1.
+    let (live4, ingress4) = run_live_fleet(4, true);
+    assert_eq!(ingress, ingress4);
+    assert_eq!(live, live4, "live fleet report must not depend on threads");
+
+    for threads in [1usize, 4] {
+        for ff in [true, false] {
+            let mut replayed = log::replay(&ingress, || {
+                let mut s = build_fleet_sim(2, 3);
+                s.set_threads(threads);
+                s.set_fast_forward(ff);
+                s
+            });
+            assert!(replayed.counters.get("fleet.cold_starts") >= 2);
+            assert_eq!(
+                live,
+                replayed.to_json().to_json(),
+                "fleet replay (threads={threads}, ff={ff}) must be byte-identical"
+            );
+        }
     }
 }
 

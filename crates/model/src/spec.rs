@@ -68,6 +68,15 @@ impl ModelSpec {
         per_layer * self.num_layers as u64
     }
 
+    /// The same geometry at a different parameter count — fleet
+    /// registries derive hundreds of size variants from a few preset
+    /// families, and only the checkpoint size (hence cold-start cost)
+    /// changes.
+    pub fn scaled_to(mut self, params: u64) -> Self {
+        self.params = params;
+        self
+    }
+
     /// Dense FLOPs per token through the linear layers (multiply-add = 2).
     pub fn linear_flops_per_token(&self) -> f64 {
         2.0 * self.params as f64

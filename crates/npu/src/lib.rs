@@ -13,6 +13,8 @@
 //!   HCCS/RoCE ports with processor-sharing contention.
 //! * [`pagecache`] — host DRAM page cache for safetensors weight loading
 //!   (DRAM-hit vs DRAM-miss vs preloading, Figure 9).
+//! * [`storage`] — the four-tier checkpoint hierarchy (HBM ← DRAM ← local
+//!   SSD ← remote store) behind serverless fleet cold starts.
 
 #![forbid(unsafe_code)]
 
@@ -20,7 +22,9 @@ pub mod fabric;
 pub mod hccl;
 pub mod pagecache;
 pub mod specs;
+pub mod storage;
 
 pub use fabric::{Fabric, LinkKind, TransferId};
 pub use pagecache::{ByteRange, FileId, PageCache, ReadBreakdown};
 pub use specs::{ChipSpec, ClusterSpec, Generation, LinkSpec, NpuId, ServerSpec};
+pub use storage::{fault_time, FaultBreakdown, RemoteStoreSpec, ServerStore, Tier};

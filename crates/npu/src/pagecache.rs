@@ -128,7 +128,7 @@ impl ReadBreakdown {
 /// Eviction granularity is whole files because DeepServe pre-loads and
 /// evicts checkpoints as units (the cluster manager predicts "models likely
 /// to scale" and pre-loads those models).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PageCache {
     capacity: u64,
     used: u64,

@@ -1,0 +1,124 @@
+//! Multi-model fleet traces: one Poisson arrival process fanned out over
+//! hundreds of registered models with Zipf-skewed popularity.
+//!
+//! The serverless fleet story (ROADMAP item 2) needs a workload where a
+//! handful of head models stay hot while a long tail of cold models
+//! arrives rarely — exactly the regime where cold-start economics
+//! (storage tiers, multicast scale-out) separate from the pre-warmed
+//! single-model world. The Zipf exponent controls how long that tail is.
+
+use crate::poisson_arrivals;
+use crate::traces::ReqSpec;
+use serde::Serialize;
+use simcore::{SimRng, SimTime};
+
+fn clamp_len(x: f64, lo: usize, hi: usize) -> usize {
+    (x.round() as i64).clamp(lo as i64, hi as i64) as usize
+}
+
+/// One fleet request: a plain [`ReqSpec`] tagged with the model it wants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetReqSpec {
+    /// Index of the target model in the fleet registry.
+    pub model: u32,
+    /// The request body (arrival, prompt, output).
+    pub spec: ReqSpec,
+}
+
+/// A skewed multi-model request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTrace {
+    /// Total requests per second across all models.
+    pub rps: f64,
+    /// Number of registered models in the fleet.
+    pub models: usize,
+    /// Zipf exponent of model popularity (1.0 ≈ classic head/tail skew).
+    pub zipf_s: f64,
+    /// Mean prompt length (tokens).
+    pub mean_input: f64,
+    /// Coefficient of variation of prompt length.
+    pub input_cv: f64,
+    /// Mean output length (tokens).
+    pub mean_output: f64,
+    /// Coefficient of variation of output length.
+    pub output_cv: f64,
+}
+
+impl FleetTrace {
+    /// The fleet-sweep configuration: `models` registered endpoints with
+    /// classic Zipf(1.0) popularity and chat-shaped bodies short enough
+    /// that cold-start latency, not decode, dominates the tail.
+    pub fn skewed(models: usize, rps: f64) -> Self {
+        FleetTrace {
+            rps,
+            models,
+            zipf_s: 1.0,
+            mean_input: 512.0,
+            input_cv: 0.25,
+            mean_output: 48.0,
+            output_cv: 0.35,
+        }
+    }
+
+    /// Generates `count` requests in arrival order.
+    pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<FleetReqSpec> {
+        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
+        arrivals
+            .into_iter()
+            .map(|arrival| FleetReqSpec {
+                model: rng.zipf(self.models.max(1), self.zipf_s) as u32,
+                spec: ReqSpec {
+                    arrival,
+                    prompt_seed: rng.next_u64(),
+                    prompt_len: clamp_len(
+                        rng.lognormal_mean_cv(self.mean_input, self.input_cv),
+                        16,
+                        16_000,
+                    ),
+                    shared_prefix: None,
+                    output_len: clamp_len(
+                        rng.lognormal_mean_cv(self.mean_output, self.output_cv),
+                        1,
+                        4_000,
+                    ) as u32,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_ordered() {
+        let t = FleetTrace::skewed(128, 4.0);
+        let a = t.generate(&mut SimRng::seed_from_u64(9), 200);
+        let b = t.generate(&mut SimRng::seed_from_u64(9), 200);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].spec.arrival <= w[1].spec.arrival));
+        assert!(a.iter().all(|r| (r.model as usize) < 128));
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let t = FleetTrace::skewed(100, 8.0);
+        let reqs = t.generate(&mut SimRng::seed_from_u64(3), 4_000);
+        let mut counts = vec![0usize; 100];
+        for r in &reqs {
+            counts[r.model as usize] += 1;
+        }
+        let head: usize = counts[..5].iter().sum();
+        let tail: usize = counts[50..].iter().sum();
+        assert!(
+            head > reqs.len() / 3,
+            "top-5 models should dominate: head={head}"
+        );
+        assert!(head > tail, "head must outweigh the entire tail half");
+        // The tail is still populated: a fleet trace must actually visit
+        // cold models, or there is nothing serverless to measure.
+        let touched = counts.iter().filter(|&&c| c > 0).count();
+        assert!(touched > 50, "only {touched} of 100 models ever requested");
+    }
+}

@@ -12,7 +12,10 @@
 //!   heatmap cell at fixed RPS;
 //! * **shared-prefix chat** for locality studies, with Zipf-popular
 //!   conversation groups;
-//! * **burst loads** for autoscaling studies.
+//! * **burst loads** for autoscaling studies;
+//! * **fleet traces** — one arrival stream fanned out over hundreds of
+//!   models with Zipf-skewed popularity, for serverless cold-start
+//!   studies.
 //!
 //! Generators emit [`ReqSpec`]s — content is named by `(seed, len)` so the
 //! platform can materialize identical token streams deterministically
@@ -20,8 +23,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod traces;
 
+pub use fleet::{FleetReqSpec, FleetTrace};
 pub use traces::{BurstLoad, ChatTrace, CodeGenTrace, FixedShape, ReqSpec, SharedPrefixChat};
 
 use simcore::{SimRng, SimTime};
