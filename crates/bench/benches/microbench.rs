@@ -166,7 +166,7 @@ fn drive_engine(mut engine: flowserve::Engine) {
             SimTime::ZERO,
             NewRequest {
                 id: RequestId(i),
-                prompt: synthetic_tokens(i, 512, 64_000),
+                prompt: synthetic_tokens(i, 512, 64_000).into(),
                 target_output: 32,
                 arrival: SimTime::ZERO,
                 cache_id: None,
@@ -215,7 +215,7 @@ fn saturated_decode_engine(n_req: u64) -> (flowserve::Engine, SimTime) {
             SimTime::ZERO,
             NewRequest {
                 id: RequestId(i),
-                prompt: synthetic_tokens(i, 128, 64_000),
+                prompt: synthetic_tokens(i, 128, 64_000).into(),
                 target_output,
                 arrival: SimTime::ZERO,
                 cache_id: None,

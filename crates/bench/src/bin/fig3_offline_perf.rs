@@ -47,7 +47,7 @@ fn run_offline(version: EngineVersion, prefill: usize, batch: usize) -> (f64, f6
             SimTime::ZERO,
             NewRequest {
                 id: RequestId(i as u64),
-                prompt: synthetic_tokens(i as u64 + 1, prefill, 64_000),
+                prompt: synthetic_tokens(i as u64 + 1, prefill, 64_000).into(),
                 target_output: DECODE_ITERS + 1,
                 arrival: SimTime::ZERO,
                 cache_id: None,

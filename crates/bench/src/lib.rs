@@ -73,6 +73,42 @@ pub fn threads_arg() -> usize {
     threads_flag().unwrap_or_else(deepserve::default_threads)
 }
 
+/// Parses a `--<name> N` CLI flag into a number (`None` when absent or
+/// malformed).
+pub fn numeric_flag(name: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = format!("--{name}");
+    let pos = args.iter().position(|a| *a == flag)?;
+    match args.get(pos + 1).and_then(|v| v.parse::<f64>().ok()) {
+        Some(n) => Some(n),
+        None => {
+            eprintln!("{flag} requires a number; using the default");
+            None
+        }
+    }
+}
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux. The honest memory metric for a
+/// streaming-vs-materialized comparison: it captures the high-water mark,
+/// not the (already freed) instantaneous value.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Resets the kernel's peak-RSS counter (Linux `clear_refs`), so each
+/// benchmark run reports its own high-water mark instead of the process
+/// lifetime maximum. Best-effort: silently a no-op where unsupported, in
+/// which case peaks are monotone across runs (still a valid upper bound).
+pub fn reset_peak_rss() {
+    let _ = fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Builds the paper's standard 34B TP=4 cost model on a Gen2 chip.
 pub fn cost_34b_tp4() -> llm_model::ExecCostModel {
     let c = npu::specs::ClusterSpec::gen2_cluster(1);

@@ -5,7 +5,7 @@
 //! A chat completion is one serving job; on a PD-colocated engine it is one
 //! task, in a prefill–decode-disaggregated setup it is two.
 
-use flowserve::{CacheId, RequestId, TokenId};
+use flowserve::{CacheId, Prompt, RequestId, TokenId};
 use serde::{Serialize, Value};
 use simcore::{SimDuration, SimTime};
 
@@ -59,8 +59,8 @@ pub struct ApiRequest {
     pub id: RequestId,
     /// Endpoint.
     pub endpoint: Endpoint,
-    /// Tokenized prompt.
-    pub prompt: Vec<TokenId>,
+    /// Tokenized prompt (shared by reference; an O(1) clone).
+    pub prompt: Prompt,
     /// Ground-truth output length (simulation oracle; schedulers see only
     /// a prediction).
     pub target_output: u32,
@@ -77,11 +77,11 @@ pub struct ApiRequest {
 
 impl ApiRequest {
     /// A chat completion request.
-    pub fn chat(id: u64, prompt: Vec<TokenId>, target_output: u32, arrival: SimTime) -> Self {
+    pub fn chat(id: u64, prompt: impl Into<Prompt>, target_output: u32, arrival: SimTime) -> Self {
         ApiRequest {
             id: RequestId(id),
             endpoint: Endpoint::ChatCompletion,
-            prompt,
+            prompt: prompt.into(),
             target_output,
             arrival,
             slo: Slo::chat(),
@@ -135,7 +135,7 @@ impl IngressRecord {
         IngressRecord {
             id: req.id.0,
             arrival_ns: req.arrival.as_nanos(),
-            prompt: req.prompt.clone(),
+            prompt: req.prompt.as_slice().to_vec(),
             target_output: req.target_output,
             cache_id: req.cache_id.map(|c| c.0),
             model: req.model,
@@ -254,6 +254,19 @@ pub fn materialize(spec: &workloads::ReqSpec, id: u64, vocab: u32) -> ApiRequest
         vocab,
     ));
     ApiRequest::chat(id, prompt, spec.output_len, spec.arrival)
+}
+
+/// Lazily materializes a stream of specs, assigning sequential ids. The
+/// streaming counterpart of [`materialize_trace`]: pulling one item builds
+/// one request, so a million-request trace never exists in memory at once.
+/// Same specs + same vocab produce byte-identical requests either way.
+pub fn stream_trace(
+    specs: impl Iterator<Item = workloads::ReqSpec>,
+    vocab: u32,
+) -> impl Iterator<Item = ApiRequest> {
+    specs
+        .enumerate()
+        .map(move |(i, s)| materialize(&s, i as u64, vocab))
 }
 
 /// Materializes a whole trace, assigning sequential ids.

@@ -28,7 +28,8 @@ use npu::storage::{fault_time, ServerStore, Tier};
 use simcore::fault::{FaultEvent, FaultKind, FaultPlan};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
 use simcore::{
-    Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime, TimeMultiset,
+    Clock, Counters, FifoChannel, LatencyStats, MetricsRegistry, SimDuration, SimTime,
+    TimeMultiset, CLASS_ARRIVAL, CLASS_DEFAULT,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -176,8 +177,11 @@ enum Event {
     Fault(u32),
     /// Periodic cluster-manager heartbeat sweep.
     HealthCheck,
-    /// Re-dispatch of a requeued or deferred request (`arrivals` index).
-    Redispatch(u32),
+    /// Re-dispatch of a requeued or deferred request: `arrivals` slot
+    /// index plus the slot generation at scheduling time. Terminal states
+    /// free slots for reuse and bump the generation, so a stale redispatch
+    /// self-invalidates instead of touching an unrelated request.
+    Redispatch(u32, u32),
     /// A replacement TE comes online after the fast-scaling pipeline.
     RepairDone(TeId),
     /// A straggler slowdown window expires.
@@ -229,9 +233,11 @@ struct FleetState {
     cfg: FleetConfig,
     /// One DRAM-over-SSD storage stack per physical server.
     stores: Vec<ServerStore>,
-    /// Requests parked behind a load: model -> arrival indices, FIFO.
-    /// BTreeMap so any whole-map drain is deterministic.
-    waiting: BTreeMap<u32, Vec<u32>>,
+    /// Requests parked behind a load: model -> `(arrival slot, slot
+    /// generation)`, FIFO. BTreeMap so any whole-map drain is
+    /// deterministic; the generation invalidates entries whose request
+    /// reached a terminal state while parked.
+    waiting: BTreeMap<u32, Vec<(u32, u32)>>,
     /// In-flight loads by model (coalesces duplicate cold starts).
     inflight: BTreeMap<u32, InflightLoad>,
     /// HBM-resident models per TE in LRU order (front = coldest).
@@ -370,7 +376,26 @@ pub struct ClusterSim {
     tes: Vec<Te>,
     pairs: Vec<(TeId, TeId)>,
     je: JobExecutor,
-    arrivals: Vec<ApiRequest>,
+    /// In-flight request store: slot-addressed, recycled LIFO once a
+    /// request reaches a terminal state. `None` = free slot. Memory is
+    /// O(peak in-flight), not O(total injected) — the streaming path
+    /// relies on this to run million-request workloads flat.
+    arrivals: Vec<Option<ApiRequest>>,
+    /// Free `arrivals` slots, reused LIFO (a pure function of the
+    /// inject/terminal history, so replays are bit-identical).
+    free_slots: Vec<u32>,
+    /// Per-slot generation, bumped when the slot is freed; stale
+    /// `Redispatch`/fleet-waiter references check it before acting.
+    slot_gen: Vec<u32>,
+    /// Total requests accepted (injected, streamed, or submitted live);
+    /// replaces `arrivals.len()` for completion accounting now that
+    /// slots recycle.
+    injected_total: u64,
+    /// Lazily-pulled workload stream (`inject_stream`). Exactly one
+    /// pending `Arrival` is materialized at a time; `None` once drained.
+    stream: Option<Box<dyn Iterator<Item = ApiRequest> + Send>>,
+    /// Last streamed arrival stamp (sortedness check).
+    stream_last_arrival: SimTime,
     /// Disaggregated routing: request -> decode TE.
     decode_route: HashMap<RequestId, TeId>,
     /// Prompt + metadata stash for requests in the prefill half.
@@ -414,6 +439,24 @@ pub struct ClusterSim {
     slot_scratch: Vec<usize>,
     /// Recycled engine-event buffers handed to batch workers.
     wake_buf_pool: Vec<Vec<EngineEvent>>,
+    /// Let prefill wakes join parallel windows under a conservative
+    /// KV-migration fence (see `prefill_fence`). On by default; ignored
+    /// while the fault layer is armed.
+    wide_windows: bool,
+    /// Reused `(request, kv_tokens)` buffer for `prefill_fence`.
+    fence_scratch: Vec<(RequestId, usize)>,
+    /// Reused per-wave buffer list for `step_wake_batch`.
+    wave_bufs: Vec<Vec<EngineEvent>>,
+    /// Parallel-stepping telemetry: batches executed, members advanced,
+    /// prefill members advanced. Execution-strategy metadata, kept out
+    /// of the replay-comparable report surface (see `exec_stats`).
+    exec_batches: u64,
+    exec_members: u64,
+    exec_prefill_members: u64,
+    /// Wake events forced through the sequential path while a worker pool
+    /// was active (prefill wakes under narrow windows or fault layers) —
+    /// each is effectively a width-1 window for width accounting.
+    exec_seq_wakes: u64,
     // --- fault layer (inert until `install_faults`) ---
     fault_cfg: FaultRecoveryConfig,
     fault_events: Vec<FaultEvent>,
@@ -429,11 +472,11 @@ pub struct ClusterSim {
     migration_retry: HashMap<RequestId, (TeId, usize, SimTime)>,
     /// Re-dispatch attempts per request.
     retries: HashMap<RequestId, u32>,
-    /// Requests that reached a terminal state (finished or failed).
-    terminal: HashSet<RequestId>,
     failed: u64,
     repairs_pending: u32,
-    /// Request id -> `arrivals` index, for re-dispatch.
+    /// Request id -> `arrivals` slot, for re-dispatch and prompt lookup.
+    /// Presence here *is* liveness: a terminal state removes the entry
+    /// (and frees the slot), so "not indexed" means "finished or failed".
     arrival_index: HashMap<RequestId, u32>,
     /// Traces salvaged from engines replaced by repairs.
     salvaged_traces: Vec<(String, Trace)>,
@@ -543,6 +586,11 @@ impl ClusterSim {
             pairs,
             je,
             arrivals: Vec::new(),
+            free_slots: Vec::new(),
+            slot_gen: Vec::new(),
+            injected_total: 0,
+            stream: None,
+            stream_last_arrival: SimTime::ZERO,
             decode_route: HashMap::new(),
             pending_migration: HashMap::new(),
             in_flight_migrations: BTreeMap::new(),
@@ -565,6 +613,13 @@ impl ClusterSim {
             batch_member: Vec::new(),
             slot_scratch: Vec::new(),
             wake_buf_pool: Vec::new(),
+            wide_windows: true,
+            fence_scratch: Vec::new(),
+            wave_bufs: Vec::new(),
+            exec_batches: 0,
+            exec_members: 0,
+            exec_prefill_members: 0,
+            exec_seq_wakes: 0,
             fault_cfg: FaultRecoveryConfig::default(),
             fault_events: Vec::new(),
             health: None,
@@ -573,7 +628,6 @@ impl ClusterSim {
             flaked: HashSet::new(),
             migration_retry: HashMap::new(),
             retries: HashMap::new(),
-            terminal: HashSet::new(),
             failed: 0,
             repairs_pending: 0,
             arrival_index: HashMap::new(),
@@ -652,6 +706,33 @@ impl ClusterSim {
         self.threads
     }
 
+    /// Enables/disables wide parallel windows: prefill wakes joining
+    /// parallel batches under the conservative KV-migration fence of
+    /// `prefill_fence`. On by default; runs with the fault layer armed
+    /// ignore it (the fence's undegraded transfer estimates assume a
+    /// healthy fabric). Like fast-forward and threads, a pure
+    /// execution-strategy knob: reports are bit-identical either way.
+    pub fn set_wide_windows(&mut self, on: bool) {
+        self.wide_windows = on;
+    }
+
+    /// Parallel-stepping telemetry across all batches so far: `(batches,
+    /// members advanced, prefill members advanced, sequentially-stepped
+    /// wakes)`. The last component counts wake events that bypassed the
+    /// parallel window while a worker pool was active — each is a forced
+    /// width-1 step, so the effective mean window width is
+    /// `(members + seq) / (batches + seq)`. Execution-strategy metadata
+    /// like `sim.events_processed`, deliberately kept out of the
+    /// replay-comparable report surface.
+    pub fn exec_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.exec_batches,
+            self.exec_members,
+            self.exec_prefill_members,
+            self.exec_seq_wakes,
+        )
+    }
+
     /// Replaces the default 200M-event livelock budget for
     /// [`ClusterSim::run_to_completion`].
     pub fn set_event_budget(&mut self, budget: u64) {
@@ -688,7 +769,19 @@ impl ClusterSim {
         if let Some(live) = &mut self.live {
             live.pending.insert(at);
         }
-        self.clock.schedule(at, ev);
+        // Shard the queue by producer: each TE's wakes (the bulk of all
+        // traffic) go to a private sub-queue, everything else to shard 0.
+        // Pop order is identical to a single queue — sharding only splits
+        // the heaps. Arrivals carry the arrival class so a streamed
+        // arrival scheduled late (one-lookahead) still wins same-instant
+        // ties exactly like its materialized twin with a globally-early
+        // sequence number would.
+        let (shard, class) = match ev {
+            Event::Wake(te) => (te.0 as usize + 1, CLASS_DEFAULT),
+            Event::Arrival(_) => (0, CLASS_ARRIVAL),
+            _ => (0, CLASS_DEFAULT),
+        };
+        self.clock.schedule_sharded(at, shard, class, ev);
     }
 
     /// Bookkeeping for a popped event: drops its horizon-bounding entry
@@ -710,6 +803,10 @@ impl ClusterSim {
     ///
     /// Panics if arrivals are out of order.
     pub fn inject(&mut self, requests: Vec<ApiRequest>) {
+        assert!(
+            self.stream.is_none(),
+            "inject and inject_stream are mutually exclusive"
+        );
         let mut last = SimTime::ZERO;
         for r in &requests {
             assert!(r.arrival >= last, "arrivals must be sorted by time");
@@ -717,11 +814,87 @@ impl ClusterSim {
         }
         for r in requests {
             let at = r.arrival;
-            let idx = self.arrivals.len() as u32;
-            self.arrival_index.insert(r.id, idx);
-            self.arrivals.push(r);
+            let idx = self.alloc_slot(r);
             self.sched(at, Event::Arrival(idx));
         }
+    }
+
+    /// Queues a lazily generated workload. The stream is pulled with
+    /// one-arrival lookahead: exactly one materialized arrival is pending
+    /// at any instant, and handling it pulls (and schedules) its successor
+    /// *before* dispatching — the successor is therefore queued during the
+    /// dispatch exactly as a fully materialized [`ClusterSim::inject`]
+    /// would have it, so the run is bit-identical while holding
+    /// O(in-flight) request state instead of O(total).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload was already injected or streamed, or in live
+    /// mode; panics lazily (on pull) if the stream's arrivals are
+    /// unsorted.
+    pub fn inject_stream(&mut self, stream: impl Iterator<Item = ApiRequest> + Send + 'static) {
+        assert!(
+            self.stream.is_none() && self.arrivals.is_empty() && self.live.is_none(),
+            "inject_stream requires a fresh offline sim"
+        );
+        self.stream = Some(Box::new(stream));
+        self.pull_next_stream();
+    }
+
+    /// Materializes and schedules the next streamed arrival, if any;
+    /// drops the exhausted stream so completion accounting can settle.
+    fn pull_next_stream(&mut self) {
+        let Some(stream) = self.stream.as_mut() else {
+            return;
+        };
+        let Some(r) = stream.next() else {
+            self.stream = None;
+            return;
+        };
+        assert!(
+            r.arrival >= self.stream_last_arrival,
+            "streamed arrivals must be sorted by time"
+        );
+        self.stream_last_arrival = r.arrival;
+        let at = r.arrival;
+        let idx = self.alloc_slot(r);
+        self.sched(at, Event::Arrival(idx));
+    }
+
+    /// Stores one accepted request in a reusable arrival slot and indexes
+    /// it by id. Slots recycle LIFO — a pure function of the
+    /// inject/terminal history, so replays are bit-identical.
+    fn alloc_slot(&mut self, r: ApiRequest) -> u32 {
+        let id = r.id;
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                debug_assert!(self.arrivals[i as usize].is_none());
+                self.arrivals[i as usize] = Some(r);
+                i
+            }
+            None => {
+                self.arrivals.push(Some(r));
+                self.slot_gen.push(0);
+                (self.arrivals.len() - 1) as u32
+            }
+        };
+        let prev = self.arrival_index.insert(id, idx);
+        debug_assert!(prev.is_none(), "duplicate request id {id:?}");
+        self.injected_total += 1;
+        idx
+    }
+
+    /// Retires `id`: frees its arrival slot for reuse (bumping the slot
+    /// generation so stale `Redispatch`s and fleet waiters self-invalidate)
+    /// and drops it from the index. Returns false when already terminal.
+    fn mark_terminal(&mut self, id: RequestId) -> bool {
+        let Some(idx) = self.arrival_index.remove(&id) else {
+            return false;
+        };
+        self.arrivals[idx as usize] = None;
+        self.slot_gen[idx as usize] = self.slot_gen[idx as usize].wrapping_add(1);
+        self.free_slots.push(idx);
+        true
     }
 
     /// Switches the sim into live-ingress mode: requests arrive one at a
@@ -771,7 +944,7 @@ impl ClusterSim {
         );
         let one = SimDuration::from_nanos(1);
         let floor = self.clock.now() + one;
-        let (at, idx) = {
+        let at = {
             let Some(live) = self.live.as_mut() else {
                 unreachable!("asserted above");
             };
@@ -782,11 +955,9 @@ impl ClusterSim {
             live.last_arrival = at;
             req.arrival = at;
             live.ingress.push(IngressRecord::from_request(&req));
-            let idx = self.arrivals.len() as u32;
-            self.arrival_index.insert(req.id, idx);
-            self.arrivals.push(req);
-            (at, idx)
+            at
         };
+        let idx = self.alloc_slot(req);
         self.sched(at, Event::Arrival(idx));
         at
     }
@@ -814,11 +985,16 @@ impl ClusterSim {
             self.note_popped(now, ev);
             processed += match ev {
                 Event::Wake(te)
-                    if self.threads > 1 && self.tes[te.0 as usize].role != TeRole::Prefill =>
+                    if self.threads > 1
+                        && (self.tes[te.0 as usize].role != TeRole::Prefill
+                            || (self.wide_windows && self.health.is_none())) =>
                 {
                     self.step_wake_batch(now, te)
                 }
                 _ => {
+                    if self.threads > 1 && matches!(ev, Event::Wake(_)) {
+                        self.exec_seq_wakes += 1;
+                    }
                     self.handle(now, ev);
                     1
                 }
@@ -936,14 +1112,21 @@ impl ClusterSim {
         while let Some((now, ev)) = self.clock.next() {
             self.note_popped(now, ev);
             processed += match ev {
-                // Parallel stepping: a non-prefill wake at the queue head
-                // may lead a batch of independent engine advances.
+                // Parallel stepping: a wake at the queue head may lead a
+                // batch of independent engine advances. Prefill wakes
+                // participate only under wide windows (fault-free runs) —
+                // their KV migrations are bounded by a conservative fence.
                 Event::Wake(te)
-                    if self.threads > 1 && self.tes[te.0 as usize].role != TeRole::Prefill =>
+                    if self.threads > 1
+                        && (self.tes[te.0 as usize].role != TeRole::Prefill
+                            || (self.wide_windows && self.health.is_none())) =>
                 {
                     self.step_wake_batch(now, te)
                 }
                 _ => {
+                    if self.threads > 1 && matches!(ev, Event::Wake(_)) {
+                        self.exec_seq_wakes += 1;
+                    }
                     self.handle(now, ev);
                     1
                 }
@@ -1034,7 +1217,13 @@ impl ClusterSim {
             Event::FabricAdvance => self.on_fabric(now),
             Event::Fault(idx) => self.on_fault(now, idx),
             Event::HealthCheck => self.on_health_check(now),
-            Event::Redispatch(idx) => self.dispatch(now, idx),
+            Event::Redispatch(idx, gen) => {
+                // A bumped generation means the request went terminal (and
+                // the slot may hold a different request by now): no-op.
+                if self.slot_gen[idx as usize] == gen {
+                    self.dispatch(now, idx);
+                }
+            }
             Event::RepairDone(te) => self.on_repair_done(now, te),
             Event::StragglerEnd(te) => {
                 // Harmless on a replacement engine: its slowdown is 1.0.
@@ -1083,18 +1272,25 @@ impl ClusterSim {
     }
 
     fn on_arrival(&mut self, now: SimTime, idx: u32) {
+        // One-lookahead streaming: pull and schedule the successor before
+        // dispatching, so the queue holds the next arrival during this
+        // dispatch exactly as a materialized inject would.
+        if self.stream.is_some() {
+            self.pull_next_stream();
+        }
         self.first_arrival = Some(self.first_arrival.unwrap_or(now).min(now));
         if self.tracer.is_enabled() {
-            let req = &self.arrivals[idx as usize];
-            self.tracer.event(
-                now,
-                "arrival",
-                vec![
-                    ("req", req.id.0.into()),
-                    ("prompt_tokens", req.prompt.len().into()),
-                    ("target_output", req.target_output.into()),
-                ],
-            );
+            if let Some(req) = &self.arrivals[idx as usize] {
+                self.tracer.event(
+                    now,
+                    "arrival",
+                    vec![
+                        ("req", req.id.0.into()),
+                        ("prompt_tokens", req.prompt.len().into()),
+                        ("target_output", req.target_output.into()),
+                    ],
+                );
+            }
             let depth: usize = self.tes.iter().map(|t| t.engine.queue_len()).sum();
             let qid = self.metrics.series("cluster.queue_depth");
             self.metrics.record_at(qid, now, depth as f64);
@@ -1107,10 +1303,11 @@ impl ClusterSim {
     /// keeps its original arrival stamp, so TTFT/JCT of a requeued request
     /// include the full failure + backoff delay.
     fn dispatch(&mut self, now: SimTime, idx: u32) {
-        let req = self.arrivals[idx as usize].clone();
-        if self.terminal.contains(&req.id) {
+        // A freed slot means the request already reached a terminal
+        // state; stale redispatches land here and no-op.
+        let Some(req) = self.arrivals[idx as usize].clone() else {
             return;
-        }
+        };
         if self.fleet.is_some() {
             if let Some(m) = req.model {
                 // Model-tagged request: route through the fleet registry.
@@ -1124,7 +1321,11 @@ impl ClusterSim {
             // Every routable TE is detected-down; park the request until a
             // repair restores capacity.
             self.counters.incr("sim.dispatch_deferred");
-            self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+            let gen = self.slot_gen[idx as usize];
+            self.sched(
+                now + self.fault_cfg.backoff_cap,
+                Event::Redispatch(idx, gen),
+            );
             return;
         }
         let decision: Decision = self.je.schedule(now, &req, &pool);
@@ -1249,26 +1450,37 @@ impl ClusterSim {
     }
 
     /// Conservative parallel stepping: handles `first` (an already-popped
-    /// non-prefill wake) together with every consecutive queue-head event
-    /// that is also an independent non-prefill wake, advancing the engines
-    /// concurrently on scoped worker threads. Returns the number of events
-    /// processed (batch members plus merge-drained reschedules).
+    /// wake) together with every consecutive queue-head event that is also
+    /// an independent wake, advancing the engines concurrently on scoped
+    /// worker threads. Prefill wakes join only under wide windows (fault-
+    /// free runs), fenced by `prefill_fence`; otherwise they end
+    /// collection. Returns the number of events processed (batch members
+    /// plus merge-drained reschedules).
     ///
     /// Why this is exactly the sequential execution (see DESIGN.md
     /// "Parallel stepping" for the full argument):
     ///
     /// * **Lookahead.** Collection stops at the first event that is not a
-    ///   non-prefill wake, i.e. at the first *horizon-bounding* event.
-    ///   Batch members therefore all precede the next event whose handler
-    ///   could touch another TE, and a non-prefill wake's own handler only
-    ///   advances its TE and reschedules its own next wake — so members
-    ///   commute with everything between them.
-    /// * **Frozen window.** Nothing a member does changes another member's
-    ///   gate (`alive`, `scheduled_wake`) or the horizon multiset, so the
-    ///   gates and the pacing evaluated up front equal the values the
-    ///   sequential loop would compute one by one. A second queued wake
-    ///   for a TE already in the batch *can* observe the first one's
-    ///   effects, so it ends collection instead of joining.
+    ///   batch-eligible wake — so at the first *horizon-bounding* event,
+    ///   unless wide windows admit it under a fence (below). Batch members
+    ///   therefore all precede the next event whose handler could touch
+    ///   another TE, and a non-prefill wake's own handler only advances
+    ///   its TE and reschedules its own next wake — so members commute
+    ///   with everything between them.
+    /// * **Frozen gates.** Nothing a member does changes another member's
+    ///   gate (`alive`, `scheduled_wake`), so the gates evaluated up front
+    ///   equal the values the sequential loop would compute one by one. A
+    ///   second queued wake for a TE already in the batch *can* observe
+    ///   the first one's effects, so it ends collection instead of
+    ///   joining.
+    /// * **Waved advance.** The only member whose application changes the
+    ///   horizon multiset is a prefill member (entry removal plus re-wake
+    ///   and migration insertions); decode and colocated applies never
+    ///   touch it. The batch therefore splits into *waves* — maximal runs
+    ///   of same-kind members — and one pacing read per wave is exact:
+    ///   within a wave the multiset is frozen, and the read at a wave
+    ///   boundary happens after the preceding prefill applications, right
+    ///   where the sequential loop would observe the change.
     /// * **Exact-order merge.** Workers only mutate their own engine and
     ///   fill a private event buffer. The coordinator then replays the
     ///   buffers in pop order, and before applying member *i* at `t_i`
@@ -1278,6 +1490,12 @@ impl ClusterSim {
     ///   the two timestamps. Every coordinator-side mutation (float
     ///   accumulation, prompt-tree updates, trace emission, event-queue
     ///   sequence numbers) therefore happens in the sequential order.
+    ///   A mid-batch prefill application inserts only events at or after
+    ///   the cutoff (re-wake ≥ its fence) or at/after the already-queued
+    ///   fabric wake (`schedule_fabric`: adding a transfer only pushes
+    ///   other completions out, and the new one finishes no earlier than
+    ///   the lone estimate ≥ the fence) — both past every member, so no
+    ///   later member or drain can observe them early.
     fn step_wake_batch(&mut self, first_t: SimTime, first_te: TeId) -> u64 {
         // --- collect the maximal run of independent non-prefill wakes ---
         let n_tes = self.tes.len();
@@ -1288,12 +1506,40 @@ impl ClusterSim {
         member.resize(n_tes, false);
         member[first_te.0 as usize] = true;
         batch.push((first_t, first_te, false));
+        // Wide windows: prefill wakes may join the batch, each
+        // contributing a fence — the earliest instant its handler could
+        // affect any other TE (see `prefill_fence`). The running `cutoff`
+        // is the smallest fence so far, and once set it bounds *every*
+        // further member, decode wakes included: collection stops
+        // strictly before it, so every KV migration and new-iteration
+        // re-wake a prefill application produces lands outside the
+        // window, after all members. Joined prefill wakes keep their
+        // horizon-bounding multiset entries until the merge applies them
+        // — exactly when a sequential pop would drop them — so the
+        // per-wave pacing reads and every merge-drained wake (which
+        // consults the live multiset) see the same horizons the
+        // sequential loop would. Prefill engines themselves never absorb
+        // (fast-forward requires a quiescent pure-decode batch, and
+        // prefill-role TEs never hold decode work), so the pacing their
+        // own advance receives is moot.
+        let wide = self.wide_windows && self.health.is_none();
+        let mut cutoff: Option<SimTime> = None;
+        if self.tes[first_te.0 as usize].role == TeRole::Prefill {
+            cutoff = Some(self.prefill_fence(first_t, first_te));
+        }
         // Live pacing: never collect a wake past the wall frontier — the
         // sequential `step_until` loop would stop before it.
         let pace_limit = self.live.as_ref().and_then(|l| l.pace_limit);
         while let Some((t, &Event::Wake(te))) = self.clock.peek() {
             let idx = te.0 as usize;
-            if self.tes[idx].role == TeRole::Prefill || member[idx] {
+            let is_prefill = self.tes[idx].role == TeRole::Prefill;
+            if member[idx] {
+                break;
+            }
+            if is_prefill && !wide {
+                break;
+            }
+            if cutoff.is_some_and(|c| t >= c) {
                 break;
             }
             if pace_limit.is_some_and(|limit| t > limit) {
@@ -1302,7 +1548,17 @@ impl ClusterSim {
             let Some((t, ev)) = self.clock.pop_pending() else {
                 break; // unreachable: peek above returned Some
             };
-            self.note_popped(t, ev);
+            if is_prefill {
+                // Defer the horizon-entry removal to merge application
+                // (see above); only mirror the live-pending bookkeeping.
+                if let Some(live) = &mut self.live {
+                    live.pending.remove(t);
+                }
+                let fence = self.prefill_fence(t, te);
+                cutoff = Some(cutoff.map_or(fence, |c| c.min(fence)));
+            } else {
+                self.note_popped(t, ev);
+            }
             member[idx] = true;
             batch.push((t, te, false));
         }
@@ -1312,103 +1568,208 @@ impl ClusterSim {
             entry.2 = self.wake_gate(entry.0, entry.1);
         }
 
-        // --- advance gated engines on the worker pool ---
-        let pacing = self.current_pacing();
-        let eligible = batch.iter().filter(|e| e.2).count();
-        let mut bufs: Vec<Vec<EngineEvent>> = Vec::with_capacity(eligible);
-        for _ in 0..eligible {
-            let mut b = self.wake_buf_pool.pop().unwrap_or_default();
-            b.clear();
-            bufs.push(b);
-        }
-        {
-            // Disjoint `&mut Engine`s, in batch order: members are distinct
-            // TEs, so one pass over the pool can hand each slot its engine.
-            let mut slot_of = std::mem::take(&mut self.slot_scratch);
-            slot_of.clear();
-            slot_of.resize(n_tes, usize::MAX);
-            let mut slot = 0;
-            for &(_, te, ok) in batch.iter() {
-                if ok {
-                    slot_of[te.0 as usize] = slot;
-                    slot += 1;
-                }
-            }
-            let mut engines: Vec<Option<&mut Engine>> = (0..eligible).map(|_| None).collect();
-            for (idx, te) in self.tes.iter_mut().enumerate() {
-                if slot_of[idx] != usize::MAX {
-                    engines[slot_of[idx]] = Some(&mut te.engine);
-                }
-            }
-            let mut work: Vec<(SimTime, &mut Engine, &mut Vec<EngineEvent>)> = batch
-                .iter()
-                .filter(|e| e.2)
-                .zip(engines)
-                .zip(bufs.iter_mut())
-                // detlint: allow(panic) — slot invariant: every gated batch member was assigned exactly one engine by the partition above; verified by the parallel-stepping proptest corpus
-                .map(|((&(t, _, _), eng), buf)| (t, eng.expect("slot filled above"), buf))
-                .collect();
-            let workers = self.threads.min(work.len());
-            if workers <= 1 {
-                for (t, eng, buf) in &mut work {
-                    eng.advance_paced(*t, pacing, buf);
-                }
-            } else {
-                let chunk = work.len().div_ceil(workers);
-                std::thread::scope(|s| {
-                    let mut chunks = work.chunks_mut(chunk);
-                    let mine = chunks.next();
-                    for theirs in chunks {
-                        s.spawn(move || {
-                            for (t, eng, buf) in theirs {
-                                eng.advance_paced(*t, pacing, buf);
-                            }
-                        });
-                    }
-                    // The coordinator works the first chunk instead of
-                    // blocking at the scope's join.
-                    if let Some(mine) = mine {
-                        for (t, eng, buf) in mine {
-                            eng.advance_paced(*t, pacing, buf);
-                        }
-                    }
-                });
-            }
-            slot_of.clear();
-            self.slot_scratch = slot_of;
-        }
-
-        // --- merge in pop order, draining reschedules into the gaps ---
+        // --- advance and merge in waves ---
+        // A wave is a maximal run of same-kind (prefill vs non-prefill)
+        // members. Decode/colocated applications never touch the horizon
+        // multiset, and prefill applications — the only ones that do —
+        // sit at wave boundaries, so reading the pacing once per wave is
+        // exactly what the sequential loop would observe at each member's
+        // pop. Prefill members never absorb, so the pacing their wave
+        // reads is irrelevant to them; what matters is that their
+        // *application* precedes the next wave's read.
+        self.exec_batches += 1;
+        self.exec_members += batch.iter().filter(|e| e.2).count() as u64;
+        self.exec_prefill_members += batch
+            .iter()
+            .filter(|e| e.2 && self.tes[e.1 .0 as usize].role == TeRole::Prefill)
+            .count() as u64;
         let mut processed = 0u64;
-        let mut slot = 0;
-        for &(t_i, te_i, ok) in &batch {
-            while self.clock.peek_time().is_some_and(|t| t < t_i) {
-                let Some((dt, dev)) = self.clock.next() else {
-                    break; // unreachable: peek_time above returned Some
-                };
-                debug_assert!(matches!(dev, Event::Wake(_)), "drained a non-wake event");
-                self.note_popped(dt, dev);
-                self.handle(dt, dev);
+        let mut bufs = std::mem::take(&mut self.wave_bufs);
+        let mut start = 0usize;
+        while start < batch.len() {
+            let wave_prefill = self.tes[batch[start].1 .0 as usize].role == TeRole::Prefill;
+            let mut end = start + 1;
+            while end < batch.len()
+                && (self.tes[batch[end].1 .0 as usize].role == TeRole::Prefill) == wave_prefill
+            {
+                end += 1;
+            }
+            let eligible = batch[start..end].iter().filter(|e| e.2).count();
+            bufs.clear();
+            for _ in 0..eligible {
+                let mut b = self.wake_buf_pool.pop().unwrap_or_default();
+                b.clear();
+                bufs.push(b);
+            }
+            self.advance_wave(&batch[start..end], &mut bufs);
+
+            // Merge the wave in pop order, draining reschedules into the
+            // gaps.
+            let mut slot = 0;
+            for (i, &(t_i, te_i, ok)) in batch[start..end].iter().enumerate() {
+                while self.clock.peek_time().is_some_and(|t| t < t_i) {
+                    let Some((dt, dev)) = self.clock.next() else {
+                        break; // unreachable: peek_time above returned Some
+                    };
+                    debug_assert!(matches!(dev, Event::Wake(_)), "drained a non-wake event");
+                    self.note_popped(dt, dev);
+                    self.handle(dt, dev);
+                    processed += 1;
+                }
+                self.clock.advance_to(t_i);
+                if wave_prefill && start + i > 0 {
+                    // Collection deferred this joined prefill wake's
+                    // horizon entry; drop it now, at the instant a
+                    // sequential pop would (the run loop already dropped
+                    // the first member's).
+                    self.horizon_times.remove(t_i);
+                }
+                if ok {
+                    let mut buf = std::mem::take(&mut bufs[slot]);
+                    slot += 1;
+                    for ev in buf.drain(..) {
+                        self.on_engine_event(t_i, te_i, ev);
+                    }
+                    self.wake_buf_pool.push(buf);
+                    self.reschedule_wake(t_i, te_i);
+                }
                 processed += 1;
             }
-            self.clock.advance_to(t_i);
-            if ok {
-                let mut buf = std::mem::take(&mut bufs[slot]);
-                slot += 1;
-                for ev in buf.drain(..) {
-                    self.on_engine_event(t_i, te_i, ev);
-                }
-                self.wake_buf_pool.push(buf);
-                self.reschedule_wake(t_i, te_i);
-            }
-            processed += 1;
+            start = end;
         }
+        bufs.clear();
+        self.wave_bufs = bufs;
 
         batch.clear();
         member.clear();
         self.batch_scratch = batch;
         self.batch_member = member;
         processed
+    }
+
+    /// Advances the gated members of one wave concurrently on up to
+    /// `self.threads` scoped workers, filling one private event buffer
+    /// per gated member (in wave order). Reads the pacing on entry — i.e.
+    /// after every preceding wave's application, the only point inside a
+    /// batch where the horizon multiset can change (see
+    /// `step_wake_batch`).
+    fn advance_wave(&mut self, wave: &[(SimTime, TeId, bool)], bufs: &mut [Vec<EngineEvent>]) {
+        let pacing = self.current_pacing();
+        // Disjoint `&mut Engine`s, in wave order: members are distinct
+        // TEs, so one pass over the pool can hand each slot its engine.
+        let n_tes = self.tes.len();
+        let mut slot_of = std::mem::take(&mut self.slot_scratch);
+        slot_of.clear();
+        slot_of.resize(n_tes, usize::MAX);
+        let mut slot = 0;
+        for &(_, te, ok) in wave {
+            if ok {
+                slot_of[te.0 as usize] = slot;
+                slot += 1;
+            }
+        }
+        let mut engines: Vec<Option<&mut Engine>> = (0..slot).map(|_| None).collect();
+        for (idx, te) in self.tes.iter_mut().enumerate() {
+            if slot_of[idx] != usize::MAX {
+                engines[slot_of[idx]] = Some(&mut te.engine);
+            }
+        }
+        let mut work: Vec<(SimTime, &mut Engine, &mut Vec<EngineEvent>)> = wave
+            .iter()
+            .filter(|e| e.2)
+            .zip(engines)
+            .zip(bufs.iter_mut())
+            // detlint: allow(panic) — slot invariant: every gated wave member was assigned exactly one engine by the partition above; verified by the parallel-stepping proptest corpus
+            .map(|((&(t, _, _), eng), buf)| (t, eng.expect("slot filled above"), buf))
+            .collect();
+        let workers = self.threads.min(work.len());
+        if workers <= 1 {
+            for (t, eng, buf) in &mut work {
+                eng.advance_paced(*t, pacing, buf);
+            }
+        } else {
+            let chunk = work.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let mut chunks = work.chunks_mut(chunk);
+                let mine = chunks.next();
+                for theirs in chunks {
+                    s.spawn(move || {
+                        for (t, eng, buf) in theirs {
+                            eng.advance_paced(*t, pacing, buf);
+                        }
+                    });
+                }
+                // The coordinator works the first chunk instead of
+                // blocking at the scope's join.
+                if let Some(mine) = mine {
+                    for (t, eng, buf) in mine {
+                        eng.advance_paced(*t, pacing, buf);
+                    }
+                }
+            });
+        }
+        slot_of.clear();
+        self.slot_scratch = slot_of;
+    }
+
+    /// Earliest instant at which running the prefill wake `(t, te)` could
+    /// affect any other TE — the conservative bound that lets prefill
+    /// wakes join a parallel window (DESIGN.md "Wide parallel windows").
+    ///
+    /// * An in-flight iteration ending after `t` means the wake is a pure
+    ///   reschedule no-op: nothing happens before that end.
+    /// * Otherwise the wake may complete prefill parts at `t` and start
+    ///   their KV migrations; each lands no earlier than `t` plus the
+    ///   fabric's lone-transfer time for its exposed bytes (link sharing
+    ///   only slows transfers, and wide windows are off under faults, so
+    ///   no degraded link or transfer flake can undercut the estimate).
+    ///   Routeless completions only release KV on their own engine.
+    /// * Any same-TE re-wake it schedules is either at `t` itself (a
+    ///   harmless same-instant no-op: a freshly started iteration ends at
+    ///   least one iteration floor later) or at the next iteration end,
+    ///   which the floor also bounds — so a merge-drained wake before the
+    ///   fence can never complete further prefills.
+    fn prefill_fence(&mut self, t: SimTime, te: TeId) -> SimTime {
+        let idx = te.0 as usize;
+        if let Some(end) = self.tes[idx].engine.current_iteration_end() {
+            if end > t {
+                return end;
+            }
+        }
+        // Re-wake bound: the engine's own proof of the cheapest iteration
+        // it could start next. With no queued prefill work there is no
+        // re-wake to bound, but fall back to the global iteration floor
+        // anyway so wake-path side channels (kv retries, swaps) stay
+        // outside the window.
+        let floor = self.tes[idx]
+            .engine
+            .next_prefill_span_floor(t)
+            .unwrap_or_else(|| self.tes[idx].engine.min_iteration_span());
+        let mut fence = t + floor;
+        let mut peeked = std::mem::take(&mut self.fence_scratch);
+        peeked.clear();
+        self.tes[idx]
+            .engine
+            .peek_prefill_completions(t, &mut peeked);
+        let kv_bytes_tok = self.cfg.model.kv_bytes_per_token();
+        let overlap = self.cfg.kv_transfer_overlap;
+        for &(id, kv_tokens) in peeked.iter() {
+            let Some(&to) = self.decode_route.get(&id) else {
+                continue;
+            };
+            let total = kv_tokens as u64 * kv_bytes_tok;
+            // Mirrors `start_migration`'s exposed-bytes computation (the
+            // degrade branch is unreachable here: wide windows imply a
+            // fault-free run).
+            let exposed = (total as f64 * (1.0 - overlap)).max(1.0) as u64;
+            let src = self.tes[idx].npus[0];
+            let dst = self.tes[to.0 as usize].npus[0];
+            let est = self.fabric.lone_transfer_estimate(src, dst, exposed);
+            fence = fence.min(t + est);
+        }
+        peeked.clear();
+        self.fence_scratch = peeked;
+        fence
     }
 
     fn on_engine_event(&mut self, now: SimTime, te_id: TeId, ev: EngineEvent) {
@@ -1447,7 +1808,7 @@ impl ClusterSim {
                 cached_tokens,
                 ..
             } => {
-                if !self.terminal.insert(id) {
+                if !self.mark_terminal(id) {
                     // A request must finish exactly once; a second finish
                     // means recovery bookkeeping double-submitted it.
                     self.counters.incr("sim.double_terminal");
@@ -1485,10 +1846,10 @@ impl ClusterSim {
         }
     }
 
-    fn arrival_prompt(&self, id: RequestId) -> Option<Vec<flowserve::TokenId>> {
-        self.arrivals
-            .iter()
-            .find(|r| r.id == id)
+    fn arrival_prompt(&self, id: RequestId) -> Option<flowserve::Prompt> {
+        let &idx = self.arrival_index.get(&id)?;
+        self.arrivals[idx as usize]
+            .as_ref()
             .map(|r| r.prompt.clone())
     }
 
@@ -1744,8 +2105,9 @@ impl ClusterSim {
         }
         // Keep sweeping while anything is outstanding; stop once every
         // request terminated and no repair is in flight, so the sim ends.
-        let outstanding =
-            (self.completed + self.failed) < self.arrivals.len() as u64 || self.repairs_pending > 0;
+        let outstanding = (self.completed + self.failed) < self.injected_total
+            || self.stream.is_some()
+            || self.repairs_pending > 0;
         if outstanding {
             self.sched(now + interval, Event::HealthCheck);
         }
@@ -1902,9 +2264,9 @@ impl ClusterSim {
     /// Sends a request back through the JE after capped exponential
     /// backoff, or fails it permanently once the retry budget is spent.
     fn requeue(&mut self, now: SimTime, id: RequestId) {
-        if self.terminal.contains(&id) {
-            return;
-        }
+        let Some(&idx) = self.arrival_index.get(&id) else {
+            return; // already terminal
+        };
         let attempts = {
             let n = self.retries.entry(id).or_insert(0);
             *n += 1;
@@ -1927,12 +2289,12 @@ impl ClusterSim {
                 vec![("req", id.0.into()), ("attempt", attempts.into())],
             );
         }
-        let idx = self.arrival_index[&id];
-        self.sched(now + backoff, Event::Redispatch(idx));
+        let gen = self.slot_gen[idx as usize];
+        self.sched(now + backoff, Event::Redispatch(idx, gen));
     }
 
     fn note_failed(&mut self, now: SimTime, id: RequestId, reason: &'static str) {
-        if !self.terminal.insert(id) {
+        if !self.mark_terminal(id) {
             self.counters.incr("sim.double_terminal");
             debug_assert!(false, "request {id:?} reached a terminal state twice");
             return;
@@ -1967,7 +2329,7 @@ impl ClusterSim {
             // Already handled elsewhere (source crash drain, terminal).
             return;
         };
-        if self.terminal.contains(&id) || !self.tes[from.0 as usize].alive {
+        if !self.arrival_index.contains_key(&id) || !self.tes[from.0 as usize].alive {
             return;
         }
         self.start_migration(now, from, id, kv_tokens, first_token_at);
@@ -2086,32 +2448,38 @@ impl ClusterSim {
             if fleet.registry.entry(m).is_none() {
                 // The gateway validates names, so an unknown index is a
                 // driver bug; fail the request rather than wedge it.
-                let id = self.arrivals[idx as usize].id;
+                let Some(id) = self.arrivals[idx as usize].as_ref().map(|r| r.id) else {
+                    return;
+                };
                 self.counters.incr("fleet.unknown_model");
                 self.note_failed(now, id, "unknown_model");
                 return;
             }
             fleet.registry.state(m)
         };
+        let gen = self.slot_gen[idx as usize];
         match state {
             LoadState::Loaded => self.fleet_dispatch_hot(now, idx, m),
             LoadState::Loading => {
                 if let Some(fleet) = self.fleet.as_mut() {
-                    fleet.waiting.entry(m).or_default().push(idx);
+                    fleet.waiting.entry(m).or_default().push((idx, gen));
                 }
                 self.counters.incr("fleet.queued");
             }
             LoadState::Unloaded => {
                 if self.start_model_load(now, m, false) {
                     if let Some(fleet) = self.fleet.as_mut() {
-                        fleet.waiting.entry(m).or_default().push(idx);
+                        fleet.waiting.entry(m).or_default().push((idx, gen));
                     }
                     self.counters.incr("fleet.queued");
                 } else {
                     // No routable TE (everything detected-down): park until
                     // a repair restores capacity, like the single-model path.
                     self.counters.incr("sim.dispatch_deferred");
-                    self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+                    self.sched(
+                        now + self.fault_cfg.backoff_cap,
+                        Event::Redispatch(idx, gen),
+                    );
                 }
             }
         }
@@ -2134,7 +2502,11 @@ impl ClusterSim {
             // Defensive: detection removes hosts from the registry, so a
             // Loaded model always has a routable host. Back off if not.
             self.counters.incr("sim.dispatch_deferred");
-            self.sched(now + self.fault_cfg.backoff_cap, Event::Redispatch(idx));
+            let gen = self.slot_gen[idx as usize];
+            self.sched(
+                now + self.fault_cfg.backoff_cap,
+                Event::Redispatch(idx, gen),
+            );
             return;
         };
         let load = self.tes[host.0 as usize].engine.load();
@@ -2155,7 +2527,9 @@ impl ClusterSim {
             let _ = self.start_model_load(now, m, true);
         }
         self.counters.incr("fleet.dispatch_hot");
-        let req = self.arrivals[idx as usize].clone();
+        let Some(req) = self.arrivals[idx as usize].clone() else {
+            return;
+        };
         let new = NewRequest {
             id: req.id,
             prompt: req.prompt.clone(),
@@ -2367,8 +2741,8 @@ impl ClusterSim {
                 fleet.registry.abort_loading(m);
                 fleet.waiting.remove(&m).unwrap_or_default()
             };
-            for idx in waiters {
-                self.sched(now, Event::Redispatch(idx));
+            for (idx, gen) in waiters {
+                self.sched(now, Event::Redispatch(idx, gen));
             }
             return;
         }
@@ -2389,11 +2763,13 @@ impl ClusterSim {
                 fleet.cfg.cold_sla,
             )
         };
-        for idx in waiters {
-            let req = &self.arrivals[idx as usize];
-            if self.terminal.contains(&req.id) {
-                continue;
+        for (idx, gen) in waiters {
+            if self.slot_gen[idx as usize] != gen {
+                continue; // reached a terminal state while parked
             }
+            let Some(req) = &self.arrivals[idx as usize] else {
+                continue;
+            };
             let wait = now.since(req.arrival);
             let wid = self.metrics.samples("fleet.cold_wait_ms");
             self.metrics.record(wid, wait.as_millis_f64());

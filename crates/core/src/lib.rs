@@ -37,8 +37,8 @@ pub mod prompt_tree;
 pub mod scaling;
 
 pub use api::{
-    materialize, materialize_fleet_trace, materialize_trace, ApiRequest, Endpoint, IngressRecord,
-    Job, JobKind, Slo, TaskKind,
+    materialize, materialize_fleet_trace, materialize_trace, stream_trace, ApiRequest, Endpoint,
+    IngressRecord, Job, JobKind, Slo, TaskKind,
 };
 pub use cluster::{
     default_threads, parse_threads, ClusterConfig, ClusterSim, FaultRecoveryConfig, LiveEvent,

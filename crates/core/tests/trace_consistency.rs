@@ -642,3 +642,116 @@ fn fleet_multicast_is_bit_identical_across_threads() {
     let ss = run_fleet(1, false, ColdStartMode::HierarchyMulticast, 5, 3, 60);
     assert_eq!(base.0, ss.0, "fast-forward diverged with multicast");
 }
+
+/// One full traced run with streaming injection (one-lookahead arrival
+/// admission): the trace generator stays a lazy iterator end to end.
+#[allow(clippy::too_many_arguments)]
+fn run_streamed(
+    threads: usize,
+    fast_forward: bool,
+    roles: &[TeRole],
+    engine: EngineConfig,
+    seed: u64,
+    rps: f64,
+    n_reqs: usize,
+) -> (String, String) {
+    let stream = ChatTrace::paper(rps).stream(SimRng::seed_from_u64(seed).fork(), n_reqs);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        engine,
+        ..ClusterConfig::standard_34b()
+    };
+    let mut sim = ClusterSim::new(cfg, roles);
+    sim.set_threads(threads);
+    sim.set_fast_forward(fast_forward);
+    sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+    sim.inject_stream(deepserve::stream_trace(stream, 64_000));
+    let mut report = sim.run_to_completion();
+    (report.to_json().to_json(), report.trace.to_json().to_json())
+}
+
+proptest! {
+    /// Streaming injection vs materialized injection: a `ChatTrace` fed
+    /// lazily through `inject_stream` (O(1) resident requests) must
+    /// reproduce the materialized `inject` run byte for byte — same
+    /// report, same trace — across thread counts and pacing modes.
+    #[test]
+    fn streaming_injection_is_bit_identical(
+        seed in 0u64..10_000,
+        rps_x10 in 5u64..60,
+        n_reqs in 8usize..40,
+        topo in 0usize..4,
+        fast_forward in 0usize..2,
+        threads_idx in 0usize..4,
+    ) {
+        let roles: &[TeRole] = match topo {
+            0 => &[TeRole::Colocated, TeRole::Colocated],
+            1 => &[TeRole::Colocated, TeRole::Colocated, TeRole::Colocated],
+            2 => &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode],
+            _ => &[TeRole::Prefill, TeRole::Decode, TeRole::Colocated],
+        };
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let rps = rps_x10 as f64 / 10.0;
+        let ff = fast_forward == 1;
+        let engine = EngineConfig::colocated();
+        let mat = run_threaded(threads, ff, roles, engine.clone(), seed, rps, n_reqs, false);
+        let streamed = run_streamed(threads, ff, roles, engine, seed, rps, n_reqs);
+        prop_assert_eq!(&mat.0, &streamed.0, "streaming report diverged at {} threads", threads);
+        prop_assert_eq!(&mat.1, &streamed.1, "streaming trace diverged at {} threads", threads);
+    }
+}
+
+/// Wide parallel windows are a pure scheduling optimization: with them
+/// disabled (prefill wakes end collection, PR 4 behavior) the run must
+/// not move by a byte — and with them enabled on a PD-disaggregated
+/// topology, prefill wakes must actually join batches.
+#[test]
+fn wide_windows_are_pure_perf_and_actually_widen() {
+    let roles = [TeRole::Prefill, TeRole::Prefill, TeRole::Decode];
+    let run = |wide: bool| {
+        let mut rng = SimRng::seed_from_u64(7);
+        let reqs = materialize_trace(&ChatTrace::paper(6.0).generate(&mut rng, 80), 64_000);
+        let cfg = ClusterConfig {
+            policy: Policy::Combined,
+            ..ClusterConfig::standard_34b()
+        };
+        let mut sim = ClusterSim::new(cfg, &roles);
+        sim.set_threads(4);
+        sim.set_fast_forward(true);
+        sim.set_wide_windows(wide);
+        sim.enable_tracing(TraceLevel::Lifecycle, 1 << 20);
+        sim.inject(reqs);
+        let mut report = sim.run_to_completion();
+        let stats = sim.exec_stats();
+        (
+            report.to_json().to_json(),
+            report.trace.to_json().to_json(),
+            stats,
+        )
+    };
+    let narrow = run(false);
+    let wide = run(true);
+    assert_eq!(narrow.0, wide.0, "wide windows changed the report");
+    assert_eq!(narrow.1, wide.1, "wide windows changed the trace");
+    let (_, _, (n_batches, n_members, n_prefill, n_seq)) = narrow.clone();
+    let (_, _, (w_batches, w_members, w_prefill, w_seq)) = wide;
+    assert_eq!(
+        n_prefill, 0,
+        "narrow batches must not contain prefill wakes"
+    );
+    assert!(w_prefill > 0, "wide batches must contain prefill wakes");
+    assert!(
+        n_seq > 0,
+        "narrow windows must force prefill wakes through the sequential path"
+    );
+    // Effective width counts forced-sequential wakes as width-1 windows;
+    // admitting prefill wakes must widen it.
+    let eff =
+        |batches: u64, members: u64, seq: u64| (members + seq) as f64 / (batches + seq) as f64;
+    assert!(
+        eff(w_batches, w_members, w_seq) >= eff(n_batches, n_members, n_seq),
+        "wide windows must not shrink effective window width: \
+         wide ({w_members}+{w_seq})/({w_batches}+{w_seq}), \
+         narrow ({n_members}+{n_seq})/({n_batches}+{n_seq})"
+    );
+}

@@ -126,7 +126,7 @@ mod tests {
     fn req(id: u64, seed: u64, len: usize, out: u32, at: SimTime) -> NewRequest {
         NewRequest {
             id: RequestId(id),
-            prompt: synthetic_tokens(seed, len, 64_000),
+            prompt: synthetic_tokens(seed, len, 64_000).into(),
             target_output: out,
             arrival: at,
             cache_id: None,

@@ -26,7 +26,7 @@
 
 use crate::block::BlockId;
 use crate::config::{EngineConfig, EngineMode};
-use crate::request::{EngineRequest, NewRequest, Phase, RequestId};
+use crate::request::{EngineRequest, NewRequest, Phase, RequestArena, RequestId};
 use crate::rtc::{PopulateTicket, Rtc, RtcConfig};
 use llm_model::{BatchWork, ExecCostModel};
 use simcore::trace::{SpanId, Trace, TraceLevel, Tracer};
@@ -162,7 +162,7 @@ pub struct Engine {
     cfg: EngineConfig,
     cost: ExecCostModel,
     rtc: Rtc,
-    requests: HashMap<RequestId, EngineRequest>,
+    requests: RequestArena,
     /// Admission queue (FCFS).
     waiting: VecDeque<RequestId>,
     /// Requests with prefill chunks outstanding, admission order.
@@ -226,7 +226,7 @@ impl Engine {
             cfg,
             cost,
             rtc,
-            requests: HashMap::new(),
+            requests: RequestArena::new(),
             waiting: VecDeque::new(),
             running_prefill: Vec::new(),
             running_decode: Vec::new(),
@@ -273,6 +273,17 @@ impl Engine {
         &self.cost
     }
 
+    /// End time of the in-flight iteration, if one is running.
+    pub fn current_iteration_end(&self) -> Option<SimTime> {
+        self.current.as_ref().map(|it| it.ends_at)
+    }
+
+    /// Lower bound on the span of any iteration this engine can start
+    /// (the cost model's fixed per-iteration floor).
+    pub fn min_iteration_span(&self) -> SimDuration {
+        self.cost.min_step_time()
+    }
+
     /// RTC access (read-mostly; platform uses it for context caching).
     pub fn rtc(&self) -> &Rtc {
         &self.rtc
@@ -310,7 +321,8 @@ impl Engine {
 
     /// Sum of KV tokens currently held (proxy for memory pressure).
     pub fn kv_tokens_held(&self) -> usize {
-        // detlint: allow(unordered-iter) — commutative integer sum; iteration order cannot affect the result
+        // Arena iteration is slot-ordered (deterministic), and the sum is
+        // commutative besides.
         self.requests.values().map(|r| r.table.tokens()).sum()
     }
 
@@ -332,8 +344,9 @@ impl Engine {
     /// Every request the engine is currently responsible for, in id order
     /// (deterministic). Used by the platform to drain a crashed TE.
     pub fn active_request_ids(&self) -> Vec<RequestId> {
-        // detlint: allow(unordered-iter) — collected and sorted on the next line; hash order never escapes
-        let mut ids: Vec<RequestId> = self.requests.keys().copied().collect();
+        // Arena slot order is deterministic already; sort to id order for
+        // the drain contract.
+        let mut ids: Vec<RequestId> = self.requests.ids().collect();
         ids.sort_unstable();
         ids
     }
@@ -482,7 +495,7 @@ impl Engine {
         let Some(id) = self.populating.remove(&ticket) else {
             return;
         };
-        let Some(req) = self.requests.get_mut(&id) else {
+        let Some(req) = self.requests.get_mut(id) else {
             return;
         };
         req.populate = None;
@@ -581,7 +594,7 @@ impl Engine {
     /// bookkeeping diverged — loud in debug builds; in release the caller
     /// drops the stale id instead of taking the whole engine down.
     fn req_mut(&mut self, id: RequestId) -> Option<&mut EngineRequest> {
-        let req = self.requests.get_mut(&id);
+        let req = self.requests.get_mut(id);
         debug_assert!(req.is_some(), "engine invariant: untracked request {id:?}");
         req
     }
@@ -745,7 +758,7 @@ impl Engine {
         let mut context_total: u64 = 0;
         let mut tracked = true;
         for &id in &it.decode_ids {
-            let Some(req) = self.requests.get(&id) else {
+            let Some(req) = self.requests.get(id) else {
                 debug_assert!(false, "engine invariant: untracked request {id:?}");
                 tracked = false;
                 break;
@@ -834,7 +847,7 @@ impl Engine {
 
         if absorbed > 0 {
             for (i, &id) in it.decode_ids.iter().enumerate() {
-                let Some(req) = self.requests.get_mut(&id) else {
+                let Some(req) = self.requests.get_mut(id) else {
                     debug_assert!(false, "engine invariant: untracked request {id:?}");
                     continue;
                 };
@@ -954,11 +967,11 @@ impl Engine {
                 }
                 // A reservation earlier in this loop may have preempted this
                 // sequence out of the decode set.
-                if self.requests.get(&id).map(|r| r.phase) != Some(Phase::Decoding) {
+                if self.requests.get(id).map(|r| r.phase) != Some(Phase::Decoding) {
                     continue;
                 }
                 if self.reserve_decode_slot(now, id) {
-                    if let Some(req) = self.requests.get(&id) {
+                    if let Some(req) = self.requests.get(id) {
                         work.decode_seqs += 1;
                         work.decode_context_total += req.table.tokens() as u64;
                         decode_ids.push(id);
@@ -994,7 +1007,7 @@ impl Engine {
                 i += 1;
                 let Some((remaining, context)) = self
                     .requests
-                    .get(&id)
+                    .get(id)
                     .map(|r| (r.prefill_remaining(), r.prefilled_tokens))
                 else {
                     debug_assert!(false, "engine invariant: untracked request {id:?}");
@@ -1086,7 +1099,7 @@ impl Engine {
                 }
             }
         }
-        let Some(need) = self.requests.get(&id).map(|r| r.table.blocks_needed(chunk)) else {
+        let Some(need) = self.requests.get(id).map(|r| r.table.blocks_needed(chunk)) else {
             return false;
         };
         match self.rtc.alloc_blocks(need) {
@@ -1155,7 +1168,7 @@ impl Engine {
         // Prefill progress.
         for &(id, chunk) in &it.prefill_parts {
             // The request may have been preempted out mid-flight; skip then.
-            let Some(req) = self.requests.get_mut(&id) else {
+            let Some(req) = self.requests.get_mut(id) else {
                 continue;
             };
             if req.phase != Phase::Prefilling {
@@ -1178,7 +1191,7 @@ impl Engine {
         }
         // Decode progress.
         for &id in &it.decode_ids {
-            let Some(req) = self.requests.get_mut(&id) else {
+            let Some(req) = self.requests.get_mut(id) else {
                 continue;
             };
             if req.phase != Phase::Decoding {
@@ -1208,7 +1221,7 @@ impl Engine {
     fn finish_prefill(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
         self.running_prefill.retain(|&r| r != id);
         let (prompt, cache_id, blocks, should_cache, is_first_completion) = {
-            let Some(req) = self.requests.get_mut(&id) else {
+            let Some(req) = self.requests.get_mut(id) else {
                 debug_assert!(false, "engine invariant: untracked request {id:?}");
                 return;
             };
@@ -1246,7 +1259,7 @@ impl Engine {
             }
         }
 
-        let Some(req) = self.requests.get_mut(&id) else {
+        let Some(req) = self.requests.get_mut(id) else {
             debug_assert!(false, "engine invariant: untracked request {id:?}");
             return;
         };
@@ -1279,7 +1292,7 @@ impl Engine {
 
     fn finish_request(&mut self, at: SimTime, id: RequestId, events: &mut Vec<EngineEvent>) {
         self.running_decode.retain(|&r| r != id);
-        let Some(mut req) = self.requests.remove(&id) else {
+        let Some(mut req) = self.requests.remove(id) else {
             debug_assert!(false, "engine invariant: untracked request {id:?}");
             return;
         };
@@ -1329,7 +1342,7 @@ impl Engine {
     /// Prefill-only mode: the driver finished migrating `id`'s KV to a
     /// decode TE; release the local copy.
     pub fn release_migrated(&mut self, now: SimTime, id: RequestId) {
-        let Some(mut req) = self.requests.remove(&id) else {
+        let Some(mut req) = self.requests.remove(id) else {
             return;
         };
         debug_assert_eq!(req.phase, Phase::AwaitingMigration);
@@ -1353,6 +1366,90 @@ impl Engine {
 
     /// KV tokens a migrating request will ship (for transfer sizing).
     pub fn migration_kv_tokens(&self, id: RequestId) -> Option<usize> {
-        self.requests.get(&id).map(|r| r.table.tokens())
+        self.requests.get(id).map(|r| r.table.tokens())
+    }
+
+    /// Read-only lookahead: the [`EngineEvent::PrefillComplete`]s the next
+    /// [`Engine::advance`] at `at` will emit, as `(id, kv_tokens)` pairs
+    /// appended to `out`.
+    ///
+    /// The cluster's wide parallel windows use this to bound a prefill
+    /// wake's earliest cross-TE effect (the KV migrations it will start)
+    /// *before* running the wake on a worker thread. The answer is exact:
+    /// an in-flight iteration's prefill parts are frozen at batch
+    /// formation, a part completes its request iff it covers the whole
+    /// remaining prefill, and the block table was already extended to the
+    /// full chunk when the batch formed, so `table.tokens()` equals the
+    /// `kv_tokens` the completion event will carry.
+    pub fn peek_prefill_completions(&self, at: SimTime, out: &mut Vec<(RequestId, usize)>) {
+        let Some(it) = &self.current else {
+            return;
+        };
+        if it.ends_at > at {
+            return;
+        }
+        for &(id, chunk) in &it.prefill_parts {
+            let Some(req) = self.requests.get(id) else {
+                continue;
+            };
+            if req.phase == Phase::Prefilling && req.prefill_remaining() == chunk {
+                out.push((id, req.table.tokens()));
+            }
+        }
+    }
+
+    /// Lower bound on the span of the next iteration a `PrefillOnly`
+    /// engine could start from a wake at `at` (decode work would
+    /// invalidate the bound — callers must not use it on other modes).
+    ///
+    /// Any batch [`form_batch`](Engine::form_batch) can produce draws its
+    /// prefill parts from `running_prefill` and `waiting`. Write
+    /// `T_j = min(remaining_j, chunk_budget)` for candidate `j`'s largest
+    /// possible chunk. For the batch's smallest-context member `k`, the
+    /// batch's total tokens reach at least `T_k` (either `k`'s chunk was
+    /// budget-truncated — then the batch consumed the whole budget — or it
+    /// covered `min(remaining_k, budget)` outright), its token-weighted
+    /// context average is at least `ctx_k`, and every per-chunk cost term
+    /// is additive and monotone, so
+    /// `step_time(batch) >= step_time(prefill(T_k, ctx_k)) >= min_j
+    /// step_time(prefill(T_j, ctx_j))`. An iteration in flight at `at`
+    /// completes first, committing its chunks — candidates are adjusted
+    /// for that before pricing. Returns `None` when no prefill work will
+    /// be queued: no iteration can start, so no re-wake is coming.
+    pub fn next_prefill_span_floor(&self, at: SimTime) -> Option<SimDuration> {
+        let budget = self.cfg.prefill_chunk_tokens;
+        // Chunks the due in-flight iteration will commit before the next
+        // batch forms: `(id, chunk)` lowers that request's remaining.
+        let committing = |id: RequestId| -> usize {
+            match &self.current {
+                Some(it) if it.ends_at <= at => it
+                    .prefill_parts
+                    .iter()
+                    .find(|&&(pid, _)| pid == id)
+                    .map_or(0, |&(_, c)| c),
+                _ => 0,
+            }
+        };
+        let mut floor: Option<SimDuration> = None;
+        for id in self
+            .running_prefill
+            .iter()
+            .chain(self.waiting.iter())
+            .copied()
+        {
+            let Some(req) = self.requests.get(id) else {
+                continue;
+            };
+            let done = committing(id);
+            let remaining = req.prefill_remaining().saturating_sub(done);
+            if remaining == 0 {
+                continue; // completes (migration-fenced), never re-chunks
+            }
+            let context = (req.prefilled_tokens + done) as u64;
+            let chunk = remaining.min(budget) as u64;
+            let est = self.cost.step_time(&BatchWork::prefill(chunk, context));
+            floor = Some(floor.map_or(est, |f| f.min(est)));
+        }
+        floor
     }
 }

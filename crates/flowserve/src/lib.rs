@@ -37,6 +37,6 @@ pub use distflow::{Backend, BufferInfo, DistFlow, DistFlowError, MemTier, Transf
 pub use dp::{DpEngine, DpGroup};
 pub use engine::{Engine, EngineEvent, EngineStats, Pacing, PendingPopulate, SubmitOutcome};
 pub use pp::{plan_prefill, ChunkPlacement, PipelinePlan};
-pub use request::{EngineRequest, NewRequest, Phase, RequestId};
+pub use request::{EngineRequest, NewRequest, Phase, RequestArena, RequestId};
 pub use rtc::{CacheId, PopulateStatus, PopulateTicket, PrefixMatch, Rtc, RtcConfig};
-pub use tokenizer::{synthetic_tokens, TokenId, Tokenizer};
+pub use tokenizer::{synthetic_tokens, Prompt, TokenId, Tokenizer};

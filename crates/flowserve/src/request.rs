@@ -2,8 +2,9 @@
 
 use crate::block::BlockTable;
 use crate::rtc::{AcquiredPrefix, CacheId, PopulateTicket};
-use crate::tokenizer::TokenId;
+use crate::tokenizer::Prompt;
 use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
 
 /// Globally unique request identifier (assigned by the platform frontend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
@@ -14,8 +15,8 @@ pub struct RequestId(pub u64);
 pub struct NewRequest {
     /// Identity.
     pub id: RequestId,
-    /// Tokenized prompt.
-    pub prompt: Vec<TokenId>,
+    /// Tokenized prompt (shared by reference; see [`Prompt`]).
+    pub prompt: Prompt,
     /// Ground-truth decode length (simulation oracle; the engine stops
     /// there, schedulers may only see a noisy prediction of it).
     pub target_output: u32,
@@ -125,6 +126,95 @@ impl EngineRequest {
     }
 }
 
+/// Slot-addressed arena for engine request state.
+///
+/// The engine resolves `RequestId -> state` many times per iteration; a
+/// plain `HashMap<RequestId, EngineRequest>` additionally rehashes the
+/// whole table as load grows and offers only hasher-ordered iteration,
+/// which the determinism lint must waive around. The arena keeps requests
+/// in a slab of reusable slots (freed slots recycled LIFO — a pure function
+/// of the submit/finish history, so replays are bit-identical) with a
+/// compact id -> slot index. Iteration is in slot order: deterministic by
+/// construction, no waiver needed. Memory stays O(peak in-flight), not
+/// O(total submitted).
+#[derive(Debug, Default)]
+pub struct RequestArena {
+    slots: Vec<Option<EngineRequest>>,
+    free: Vec<u32>,
+    index: HashMap<RequestId, u32>,
+}
+
+impl RequestArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests currently stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Inserts `req` under `id`, reusing a freed slot when one exists.
+    /// Inserting an id that is already present replaces the old state
+    /// (loud in debug builds — the engine never does this on purpose).
+    pub fn insert(&mut self, id: RequestId, req: EngineRequest) {
+        if let Some(&slot) = self.index.get(&id) {
+            debug_assert!(false, "arena invariant: duplicate insert of {id:?}");
+            self.slots[slot as usize] = Some(req);
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(req);
+                s
+            }
+            None => {
+                self.slots.push(Some(req));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, slot);
+    }
+
+    /// Shared access by id.
+    pub fn get(&self, id: RequestId) -> Option<&EngineRequest> {
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Mutable access by id.
+    pub fn get_mut(&mut self, id: RequestId) -> Option<&mut EngineRequest> {
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Removes and returns the request, recycling its slot.
+    pub fn remove(&mut self, id: RequestId) -> Option<EngineRequest> {
+        let slot = self.index.remove(&id)?;
+        let req = self.slots[slot as usize].take();
+        debug_assert!(req.is_some(), "arena invariant: indexed slot was empty");
+        self.free.push(slot);
+        req
+    }
+
+    /// All stored requests in slot order (deterministic: slot assignment is
+    /// a pure function of the submit/finish history).
+    pub fn values(&self) -> impl Iterator<Item = &EngineRequest> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// All stored ids in slot order.
+    pub fn ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.values().map(|r| r.new.id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,7 +223,7 @@ mod tests {
         EngineRequest::new(
             NewRequest {
                 id: RequestId(1),
-                prompt: crate::tokenizer::synthetic_tokens(1, prompt_len, 64_000),
+                prompt: crate::tokenizer::synthetic_tokens(1, prompt_len, 64_000).into(),
                 target_output: target,
                 arrival: SimTime::from_secs(1),
                 cache_id: None,
@@ -172,5 +262,41 @@ mod tests {
         r.finished_at = Some(SimTime::from_secs(2));
         r.generated = 1;
         assert_eq!(r.latency().unwrap().tpot, SimDuration::ZERO);
+    }
+
+    fn arena_req(id: u64) -> EngineRequest {
+        EngineRequest::new(
+            NewRequest {
+                id: RequestId(id),
+                prompt: crate::tokenizer::synthetic_tokens(id, 8, 64_000).into(),
+                target_output: 4,
+                arrival: SimTime::ZERO,
+                cache_id: None,
+            },
+            16,
+        )
+    }
+
+    #[test]
+    fn arena_reuses_slots_and_iterates_in_slot_order() {
+        let mut a = RequestArena::new();
+        for i in 0..4 {
+            a.insert(RequestId(i), arena_req(i));
+        }
+        assert_eq!(a.len(), 4);
+        assert!(a.get(RequestId(2)).is_some());
+        // Free two, insert two: slots recycle LIFO, capacity stays at 4.
+        a.remove(RequestId(1));
+        a.remove(RequestId(2));
+        a.insert(RequestId(10), arena_req(10));
+        a.insert(RequestId(11), arena_req(11));
+        assert_eq!(a.slots.len(), 4);
+        // Slot order: 0 kept slot 0, 10 took freed slot 2 (LIFO), 11 took
+        // slot 1, 3 kept slot 3.
+        let ids: Vec<u64> = a.ids().map(|r| r.0).collect();
+        assert_eq!(ids, vec![0, 11, 10, 3]);
+        assert!(a.get(RequestId(1)).is_none());
+        assert!(a.remove(RequestId(1)).is_none());
+        assert_eq!(a.values().count(), 4);
     }
 }

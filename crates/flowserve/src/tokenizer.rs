@@ -92,6 +92,50 @@ impl Default for Tokenizer {
     }
 }
 
+/// A tokenized prompt shared by reference.
+///
+/// Prompts flow from the platform frontend through dispatch, engine
+/// submission, cache registration and (in PD-disaggregated mode) KV
+/// migration. Storing them as `Arc<[TokenId]>` makes every hop an O(1)
+/// pointer copy instead of an O(prompt-length) token clone, and lets the
+/// cluster free a finished request's tokens by dropping the last reference
+/// — the key to running million-request streams in O(in-flight) memory.
+/// Derefs to `[TokenId]`, so all slice-based consumers (prefix matching,
+/// prompt trees) take it unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Prompt(std::sync::Arc<[TokenId]>);
+
+impl Prompt {
+    /// The empty prompt (e.g. a freed slot after completion).
+    pub fn empty() -> Self {
+        Prompt(std::sync::Arc::from(Vec::new()))
+    }
+
+    /// The tokens as a slice.
+    pub fn as_slice(&self) -> &[TokenId] {
+        &self.0
+    }
+}
+
+impl From<Vec<TokenId>> for Prompt {
+    fn from(tokens: Vec<TokenId>) -> Self {
+        Prompt(std::sync::Arc::from(tokens))
+    }
+}
+
+impl std::ops::Deref for Prompt {
+    type Target = [TokenId];
+    fn deref(&self) -> &[TokenId] {
+        &self.0
+    }
+}
+
+impl Serialize for Prompt {
+    fn to_value(&self) -> serde::Value {
+        self.0.as_ref().to_value()
+    }
+}
+
 /// Builds a synthetic token sequence of exactly `len` tokens from a stream
 /// seed. Sequences from equal `(seed, len)` are equal; sequences from equal
 /// seeds share their full common prefix. Workload generators use this to

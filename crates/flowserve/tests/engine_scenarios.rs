@@ -134,7 +134,7 @@ impl Driver {
 fn req(id: u64, seed: u64, prompt_len: usize, output: u32, at: SimTime) -> NewRequest {
     NewRequest {
         id: RequestId(id),
-        prompt: prompt(seed, prompt_len),
+        prompt: prompt(seed, prompt_len).into(),
         target_output: output,
         arrival: at,
         cache_id: None,

@@ -180,7 +180,7 @@ proptest! {
             let accepted = engine
                 .submit(now, NewRequest {
                     id: RequestId(i as u64),
-                    prompt: synthetic_tokens(i as u64 * 7 + 1, plen, 64_000),
+                    prompt: synthetic_tokens(i as u64 * 7 + 1, plen, 64_000).into(),
                     target_output: out,
                     arrival: now,
                     cache_id: None,

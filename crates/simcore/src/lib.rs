@@ -38,7 +38,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use event::{Clock, EventQueue, TimeMultiset};
+pub use event::{Clock, EventQueue, TimeMultiset, CLASS_ARRIVAL, CLASS_DEFAULT};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{
     Counters, LatencyStats, MetricId, MetricsRegistry, RequestLatency, Samples, Summary, TimeSeries,

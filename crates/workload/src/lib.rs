@@ -27,7 +27,10 @@ pub mod fleet;
 pub mod traces;
 
 pub use fleet::{FleetReqSpec, FleetTrace};
-pub use traces::{BurstLoad, ChatTrace, CodeGenTrace, FixedShape, ReqSpec, SharedPrefixChat};
+pub use traces::{
+    BurstLoad, BurstStream, ChatStream, ChatTrace, CodeGenStream, CodeGenTrace, FixedShape,
+    FixedShapeStream, ReqSpec, ScaleStream, ScaleTrace, SharedPrefixChat, SharedPrefixStream,
+};
 
 use simcore::{SimRng, SimTime};
 

@@ -1,8 +1,14 @@
 //! Trace generators matched to the paper's published workload statistics.
+//!
+//! Every generator exists in two forms with byte-identical output:
+//! `generate` materializes a `Vec<ReqSpec>`, and `stream` returns a seeded
+//! lazy iterator that draws one request at a time (arrival gap first, then
+//! the body). `generate` is implemented as `stream(..).collect()`, so a
+//! million-request trace can be fed to the simulator in O(1) memory via
+//! `stream` without changing a single byte of the workload.
 
-use crate::poisson_arrivals;
 use serde::Serialize;
-use simcore::{SimRng, SimTime};
+use simcore::{SimDuration, SimRng, SimTime};
 
 /// One request specification. Prompt content is `(shared prefix tokens) ++
 /// (unique tokens)`, both named by `(seed, len)` pairs the platform
@@ -60,27 +66,61 @@ impl ChatTrace {
         }
     }
 
-    /// Generates `count` requests.
+    /// Seeded lazy iterator over `count` requests; one `next()` draws one
+    /// arrival gap and one request body.
+    pub fn stream(&self, rng: SimRng, count: usize) -> ChatStream {
+        ChatStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            remaining: count,
+        }
+    }
+
+    /// Generates `count` requests (materialized [`ChatTrace::stream`]).
     pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
-        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
-        arrivals
-            .into_iter()
-            .map(|arrival| ReqSpec {
-                arrival,
-                prompt_seed: rng.next_u64(),
-                prompt_len: clamp_len(
-                    rng.lognormal_mean_cv(self.mean_input, self.input_cv),
-                    16,
-                    16_000,
-                ),
-                shared_prefix: None,
-                output_len: clamp_len(
-                    rng.lognormal_mean_cv(self.mean_output, self.output_cv),
-                    1,
-                    4_000,
-                ) as u32,
-            })
-            .collect()
+        self.stream(rng.fork(), count).collect()
+    }
+}
+
+/// Lazy iterator form of [`ChatTrace`].
+pub struct ChatStream {
+    cfg: ChatTrace,
+    rng: SimRng,
+    t: SimTime,
+    remaining: usize,
+}
+
+impl Iterator for ChatStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimDuration::from_secs_f64(self.rng.exp(self.cfg.rps));
+        Some(ReqSpec {
+            arrival: self.t,
+            prompt_seed: self.rng.next_u64(),
+            prompt_len: clamp_len(
+                self.rng
+                    .lognormal_mean_cv(self.cfg.mean_input, self.cfg.input_cv),
+                16,
+                16_000,
+            ),
+            shared_prefix: None,
+            output_len: clamp_len(
+                self.rng
+                    .lognormal_mean_cv(self.cfg.mean_output, self.cfg.output_cv),
+                1,
+                4_000,
+            ) as u32,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -119,32 +159,68 @@ impl CodeGenTrace {
         }
     }
 
-    /// Generates `count` requests.
+    /// Seeded lazy iterator over `count` requests.
+    pub fn stream(&self, rng: SimRng, count: usize) -> CodeGenStream {
+        CodeGenStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            remaining: count,
+        }
+    }
+
+    /// Generates `count` requests (materialized [`CodeGenTrace::stream`]).
     pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
-        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
-        arrivals
-            .into_iter()
-            .map(|arrival| {
-                let shared = rng.chance(self.shared_fraction);
-                let prefix = if shared {
-                    let ctx = rng.zipf(self.contexts, self.zipf_s);
-                    // Context seeds are stable across the trace.
-                    Some((0xC0DE_0000 + ctx as u64, self.context_len))
-                } else {
-                    None
-                };
-                let suffix = clamp_len(rng.lognormal_mean_cv(self.mean_suffix, 0.6), 16, 8_000);
-                let prompt_len = prefix.map_or(0, |(_, l)| l) + suffix;
-                ReqSpec {
-                    arrival,
-                    prompt_seed: rng.next_u64(),
-                    prompt_len,
-                    shared_prefix: prefix,
-                    output_len: clamp_len(rng.lognormal_mean_cv(self.mean_output, 0.5), 1, 2_000)
-                        as u32,
-                }
-            })
-            .collect()
+        self.stream(rng.fork(), count).collect()
+    }
+}
+
+/// Lazy iterator form of [`CodeGenTrace`].
+pub struct CodeGenStream {
+    cfg: CodeGenTrace,
+    rng: SimRng,
+    t: SimTime,
+    remaining: usize,
+}
+
+impl Iterator for CodeGenStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimDuration::from_secs_f64(self.rng.exp(self.cfg.rps));
+        let shared = self.rng.chance(self.cfg.shared_fraction);
+        let prefix = if shared {
+            let ctx = self.rng.zipf(self.cfg.contexts, self.cfg.zipf_s);
+            // Context seeds are stable across the trace.
+            Some((0xC0DE_0000 + ctx as u64, self.cfg.context_len))
+        } else {
+            None
+        };
+        let suffix = clamp_len(
+            self.rng.lognormal_mean_cv(self.cfg.mean_suffix, 0.6),
+            16,
+            8_000,
+        );
+        let prompt_len = prefix.map_or(0, |(_, l)| l) + suffix;
+        Some(ReqSpec {
+            arrival: self.t,
+            prompt_seed: self.rng.next_u64(),
+            prompt_len,
+            shared_prefix: prefix,
+            output_len: clamp_len(
+                self.rng.lognormal_mean_cv(self.cfg.mean_output, 0.5),
+                1,
+                2_000,
+            ) as u32,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -163,20 +239,123 @@ pub struct FixedShape {
 }
 
 impl FixedShape {
-    /// Generates the batch; prompts are mutually distinct (no accidental
-    /// prefix-cache interference inside a cell).
+    /// Seeded lazy iterator over the batch.
+    pub fn stream(&self, rng: SimRng) -> FixedShapeStream {
+        FixedShapeStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            remaining: self.count,
+        }
+    }
+
+    /// Generates the batch (materialized [`FixedShape::stream`]); prompts
+    /// are mutually distinct (no accidental prefix-cache interference
+    /// inside a cell).
     pub fn generate(&self, rng: &mut SimRng) -> Vec<ReqSpec> {
-        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, self.count);
-        arrivals
-            .into_iter()
-            .map(|arrival| ReqSpec {
-                arrival,
-                prompt_seed: rng.next_u64(),
-                prompt_len: self.prefill,
-                shared_prefix: None,
-                output_len: self.decode,
-            })
-            .collect()
+        self.stream(rng.fork()).collect()
+    }
+}
+
+/// Lazy iterator form of [`FixedShape`].
+pub struct FixedShapeStream {
+    cfg: FixedShape,
+    rng: SimRng,
+    t: SimTime,
+    remaining: usize,
+}
+
+impl Iterator for FixedShapeStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimDuration::from_secs_f64(self.rng.exp(self.cfg.rps));
+        Some(ReqSpec {
+            arrival: self.t,
+            prompt_seed: self.rng.next_u64(),
+            prompt_len: self.cfg.prefill,
+            shared_prefix: None,
+            output_len: self.cfg.decode,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// A scale-study workload: fixed request shape at a given RPS across a
+/// population of `users`, each with a stable prompt seed — so repeat
+/// requests from one user are prefix-cacheable, as in production, while
+/// distinct users never collide. Designed for million-request sweeps: use
+/// [`ScaleTrace::stream`] and the cluster's streaming injection so the
+/// trace never materializes.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleTrace {
+    /// Prompt length.
+    pub prefill: usize,
+    /// Decode length.
+    pub decode: u32,
+    /// Requests per second.
+    pub rps: f64,
+    /// Total requests.
+    pub count: usize,
+    /// Distinct users (each drawn uniformly per request).
+    pub users: usize,
+}
+
+impl ScaleTrace {
+    /// Seeded lazy iterator over the trace.
+    pub fn stream(&self, rng: SimRng) -> ScaleStream {
+        assert!(self.users > 0, "users must be positive");
+        ScaleStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            remaining: self.count,
+        }
+    }
+
+    /// Generates the trace (materialized [`ScaleTrace::stream`]) — for
+    /// A/B-testing streaming injection; prefer `stream` at scale.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<ReqSpec> {
+        self.stream(rng.fork()).collect()
+    }
+}
+
+/// Lazy iterator form of [`ScaleTrace`].
+pub struct ScaleStream {
+    cfg: ScaleTrace,
+    rng: SimRng,
+    t: SimTime,
+    remaining: usize,
+}
+
+impl Iterator for ScaleStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimDuration::from_secs_f64(self.rng.exp(self.cfg.rps));
+        let user = self.rng.index(self.cfg.users) as u64;
+        Some(ReqSpec {
+            arrival: self.t,
+            prompt_seed: 0x5CA1_E000_0000 ^ user,
+            prompt_len: self.cfg.prefill,
+            shared_prefix: None,
+            output_len: self.cfg.decode,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -211,31 +390,66 @@ impl SharedPrefixChat {
         }
     }
 
-    /// Generates `count` turns. Turn `k` of conversation `c` shares its
-    /// entire prompt-prefix with turn `k+1`.
+    /// Seeded lazy iterator over `count` turns.
+    pub fn stream(&self, rng: SimRng, count: usize) -> SharedPrefixStream {
+        SharedPrefixStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            remaining: count,
+            turn_of: vec![0; self.conversations],
+        }
+    }
+
+    /// Generates `count` turns (materialized [`SharedPrefixChat::stream`]).
+    /// Turn `k` of conversation `c` shares its entire prompt-prefix with
+    /// turn `k+1`.
     pub fn generate(&self, rng: &mut SimRng, count: usize) -> Vec<ReqSpec> {
-        let arrivals = poisson_arrivals(rng, SimTime::ZERO, self.rps, count);
-        let mut turn_of: Vec<usize> = vec![0; self.conversations];
-        arrivals
-            .into_iter()
-            .map(|arrival| {
-                let c = rng.zipf(self.conversations, self.zipf_s);
-                let turn = turn_of[c];
-                turn_of[c] += 1;
-                let prefix_len = self.first_turn_len + turn * self.turn_growth;
-                ReqSpec {
-                    arrival,
-                    // The "unique" part is the latest user message; its seed
-                    // is derived so that the *next* turn reproduces it as
-                    // part of its prefix.
-                    prompt_seed: conversation_seed(c as u64, turn as u64),
-                    prompt_len: prefix_len + self.turn_growth,
-                    shared_prefix: Some((conversation_prefix_seed(c as u64), prefix_len)),
-                    output_len: clamp_len(rng.lognormal_mean_cv(self.mean_output, 0.4), 1, 1_000)
-                        as u32,
-                }
-            })
-            .collect()
+        self.stream(rng.fork(), count).collect()
+    }
+}
+
+/// Lazy iterator form of [`SharedPrefixChat`]. Holds one counter per
+/// conversation — O(conversations), independent of trace length.
+pub struct SharedPrefixStream {
+    cfg: SharedPrefixChat,
+    rng: SimRng,
+    t: SimTime,
+    remaining: usize,
+    turn_of: Vec<usize>,
+}
+
+impl Iterator for SharedPrefixStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimDuration::from_secs_f64(self.rng.exp(self.cfg.rps));
+        let c = self.rng.zipf(self.cfg.conversations, self.cfg.zipf_s);
+        let turn = self.turn_of[c];
+        self.turn_of[c] += 1;
+        let prefix_len = self.cfg.first_turn_len + turn * self.cfg.turn_growth;
+        Some(ReqSpec {
+            arrival: self.t,
+            // The "unique" part is the latest user message; its seed is
+            // derived so that the *next* turn reproduces it as part of
+            // its prefix.
+            prompt_seed: conversation_seed(c as u64, turn as u64),
+            prompt_len: prefix_len + self.cfg.turn_growth,
+            shared_prefix: Some((conversation_prefix_seed(c as u64), prefix_len)),
+            output_len: clamp_len(
+                self.rng.lognormal_mean_cv(self.cfg.mean_output, 0.4),
+                1,
+                1_000,
+            ) as u32,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -267,39 +481,66 @@ pub struct BurstLoad {
 }
 
 impl BurstLoad {
-    /// Generates requests covering `total_secs` of wall time.
-    pub fn generate(&self, rng: &mut SimRng, total_secs: f64) -> Vec<ReqSpec> {
-        let mut out = Vec::new();
-        let mut t = SimTime::ZERO;
-        let end = SimTime::ZERO + simcore::SimDuration::from_secs_f64(total_secs);
-        let burst_end = self.burst_at + simcore::SimDuration::from_secs_f64(self.burst_secs);
-        while t < end {
-            let rate = if t >= self.burst_at && t < burst_end {
-                self.burst_rps
-            } else {
-                self.base_rps
-            };
-            t += simcore::SimDuration::from_secs_f64(rng.exp(rate));
-            if t >= end {
-                break;
-            }
-            out.push(ReqSpec {
-                arrival: t,
-                prompt_seed: rng.next_u64(),
-                prompt_len: clamp_len(
-                    rng.lognormal_mean_cv(self.shape.mean_input, self.shape.input_cv),
-                    16,
-                    16_000,
-                ),
-                shared_prefix: None,
-                output_len: clamp_len(
-                    rng.lognormal_mean_cv(self.shape.mean_output, self.shape.output_cv),
-                    1,
-                    4_000,
-                ) as u32,
-            });
+    /// Seeded lazy iterator over requests covering `total_secs` of wall
+    /// time.
+    pub fn stream(&self, rng: SimRng, total_secs: f64) -> BurstStream {
+        BurstStream {
+            cfg: *self,
+            rng,
+            t: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::from_secs_f64(total_secs),
         }
-        out
+    }
+
+    /// Generates requests covering `total_secs` of wall time (materialized
+    /// [`BurstLoad::stream`]).
+    pub fn generate(&self, rng: &mut SimRng, total_secs: f64) -> Vec<ReqSpec> {
+        self.stream(rng.fork(), total_secs).collect()
+    }
+}
+
+/// Lazy iterator form of [`BurstLoad`].
+pub struct BurstStream {
+    cfg: BurstLoad,
+    rng: SimRng,
+    t: SimTime,
+    end: SimTime,
+}
+
+impl Iterator for BurstStream {
+    type Item = ReqSpec;
+
+    fn next(&mut self) -> Option<ReqSpec> {
+        if self.t >= self.end {
+            return None;
+        }
+        let burst_end = self.cfg.burst_at + SimDuration::from_secs_f64(self.cfg.burst_secs);
+        let rate = if self.t >= self.cfg.burst_at && self.t < burst_end {
+            self.cfg.burst_rps
+        } else {
+            self.cfg.base_rps
+        };
+        self.t += SimDuration::from_secs_f64(self.rng.exp(rate));
+        if self.t >= self.end {
+            return None;
+        }
+        Some(ReqSpec {
+            arrival: self.t,
+            prompt_seed: self.rng.next_u64(),
+            prompt_len: clamp_len(
+                self.rng
+                    .lognormal_mean_cv(self.cfg.shape.mean_input, self.cfg.shape.input_cv),
+                16,
+                16_000,
+            ),
+            shared_prefix: None,
+            output_len: clamp_len(
+                self.rng
+                    .lognormal_mean_cv(self.cfg.shape.mean_output, self.cfg.shape.output_cv),
+                1,
+                4_000,
+            ) as u32,
+        })
     }
 }
 
@@ -408,6 +649,87 @@ mod tests {
         let a = ChatTrace::paper(2.0).generate(&mut SimRng::seed_from_u64(5), 100);
         let b = ChatTrace::paper(2.0).generate(&mut SimRng::seed_from_u64(5), 100);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_match_generate_byte_for_byte() {
+        // Every generator's lazy stream must reproduce its materialized
+        // form exactly — `generate` is defined as `stream(..).collect()`,
+        // and this pins that the fork seeding stays aligned.
+        let chat = ChatTrace::paper(3.0);
+        assert_eq!(
+            chat.generate(&mut SimRng::seed_from_u64(9), 500),
+            chat.stream(SimRng::seed_from_u64(9).fork(), 500)
+                .collect::<Vec<_>>()
+        );
+        let code = CodeGenTrace::paper(8.0);
+        assert_eq!(
+            code.generate(&mut SimRng::seed_from_u64(9), 500),
+            code.stream(SimRng::seed_from_u64(9).fork(), 500)
+                .collect::<Vec<_>>()
+        );
+        let fixed = FixedShape {
+            prefill: 1024,
+            decode: 64,
+            rps: 2.0,
+            count: 200,
+        };
+        assert_eq!(
+            fixed.generate(&mut SimRng::seed_from_u64(9)),
+            fixed
+                .stream(SimRng::seed_from_u64(9).fork())
+                .collect::<Vec<_>>()
+        );
+        let multi = SharedPrefixChat::standard(4.0);
+        assert_eq!(
+            multi.generate(&mut SimRng::seed_from_u64(9), 500),
+            multi
+                .stream(SimRng::seed_from_u64(9).fork(), 500)
+                .collect::<Vec<_>>()
+        );
+        let burst = BurstLoad {
+            base_rps: 1.0,
+            burst_rps: 20.0,
+            burst_at: SimTime::from_secs(30),
+            burst_secs: 10.0,
+            shape: ChatTrace::paper(1.0),
+        };
+        assert_eq!(
+            burst.generate(&mut SimRng::seed_from_u64(9), 90.0),
+            burst
+                .stream(SimRng::seed_from_u64(9).fork(), 90.0)
+                .collect::<Vec<_>>()
+        );
+        let scale = ScaleTrace {
+            prefill: 512,
+            decode: 32,
+            rps: 50.0,
+            count: 1_000,
+            users: 64,
+        };
+        assert_eq!(
+            scale.generate(&mut SimRng::seed_from_u64(9)),
+            scale
+                .stream(SimRng::seed_from_u64(9).fork())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scale_trace_users_bound_seed_population() {
+        let scale = ScaleTrace {
+            prefill: 256,
+            decode: 16,
+            rps: 100.0,
+            count: 5_000,
+            users: 32,
+        };
+        let reqs = scale.generate(&mut rng());
+        let mut seeds: Vec<u64> = reqs.iter().map(|r| r.prompt_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert!(seeds.len() <= 32, "at most one seed per user");
+        assert!(seeds.len() > 16, "most users active at this volume");
     }
 
     #[test]

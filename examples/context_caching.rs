@@ -55,7 +55,7 @@ fn main() {
         SimTime::ZERO,
         NewRequest {
             id: RequestId(1),
-            prompt,
+            prompt: prompt.into(),
             target_output: 100,
             arrival: SimTime::ZERO,
             cache_id: Some(cache),
@@ -74,7 +74,7 @@ fn main() {
             t,
             NewRequest {
                 id: RequestId(q),
-                prompt,
+                prompt: prompt.into(),
                 target_output: 100,
                 arrival: t,
                 cache_id: Some(cache),

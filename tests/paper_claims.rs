@@ -42,7 +42,7 @@ fn engine_versions_order_offline_throughput() {
                 SimTime::ZERO,
                 NewRequest {
                     id: RequestId(i as u64),
-                    prompt: synthetic_tokens(i as u64, 2048, 64_000),
+                    prompt: synthetic_tokens(i as u64, 2048, 64_000).into(),
                     target_output: 129,
                     arrival: SimTime::ZERO,
                     cache_id: None,
