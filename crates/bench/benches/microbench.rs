@@ -305,6 +305,79 @@ fn bench_cluster_step_batch(c: &mut Criterion) {
     });
 }
 
+/// Prices per-window dispatch for 1/4/8-member windows at 4 threads:
+/// `cluster/pool_handoff/pool/N` hands the window to the persistent
+/// `WorkerPool` (channel handoff to parked workers + coordinator
+/// stealing), `cluster/pool_handoff/scope/N` replays the pre-pool
+/// dispatch (`std::thread::scope` spawn + join per window, coordinator
+/// working the first chunk). Engines are empty, so each advance is a
+/// near-no-op and the measurement is dispatch overhead itself — the
+/// thing the persistent pool exists to amortize. Width-1 windows bypass
+/// dispatch in both generations (the real `advance_wave` runs them
+/// inline), so `pool/1` vs `scope/1` measure the same direct call and
+/// serve as the floor; the pool must be strictly cheaper at 4 and 8.
+fn bench_pool_handoff(c: &mut Criterion) {
+    use deepserve::{PoolMember, WorkerPool};
+    use flowserve::{Engine, EngineEvent, Pacing};
+    const THREADS: usize = 4;
+    let at = SimTime::from_micros(1);
+    for n in [1usize, 4, 8] {
+        c.bench_function(&format!("cluster/pool_handoff/pool/{n}"), move |b| {
+            let mut pool = WorkerPool::new(THREADS);
+            let mut members: Vec<PoolMember> = (0..n)
+                .map(|_| PoolMember {
+                    at,
+                    engine: engine_34b(),
+                    buf: Vec::new(),
+                })
+                .collect();
+            b.iter(|| {
+                if THREADS.min(members.len()) <= 1 {
+                    for m in &mut members {
+                        m.engine.advance_paced(m.at, Pacing::SingleStep, &mut m.buf);
+                    }
+                } else {
+                    pool.advance(Pacing::SingleStep, &mut members);
+                }
+                black_box(members.len());
+            })
+        });
+        c.bench_function(&format!("cluster/pool_handoff/scope/{n}"), move |b| {
+            let mut engines: Vec<Engine> = (0..n).map(|_| engine_34b()).collect();
+            let mut bufs: Vec<Vec<EngineEvent>> = (0..n).map(|_| Vec::new()).collect();
+            b.iter(|| {
+                let mut work: Vec<(&mut Engine, &mut Vec<EngineEvent>)> =
+                    engines.iter_mut().zip(bufs.iter_mut()).collect();
+                let workers = THREADS.min(work.len());
+                if workers <= 1 {
+                    for (eng, buf) in &mut work {
+                        eng.advance_paced(at, Pacing::SingleStep, buf);
+                    }
+                } else {
+                    let chunk = work.len().div_ceil(workers);
+                    std::thread::scope(|s| {
+                        let mut chunks = work.chunks_mut(chunk);
+                        let mine = chunks.next();
+                        for theirs in chunks {
+                            s.spawn(move || {
+                                for (eng, buf) in theirs {
+                                    eng.advance_paced(at, Pacing::SingleStep, buf);
+                                }
+                            });
+                        }
+                        if let Some(mine) = mine {
+                            for (eng, buf) in mine {
+                                eng.advance_paced(at, Pacing::SingleStep, buf);
+                            }
+                        }
+                    });
+                }
+                black_box(bufs.len());
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -316,6 +389,7 @@ criterion_group!(
     bench_shared_link,
     bench_engine_step,
     bench_engine_decode_advance,
-    bench_cluster_step_batch
+    bench_cluster_step_batch,
+    bench_pool_handoff
 );
 criterion_main!(benches);

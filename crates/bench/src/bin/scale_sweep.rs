@@ -119,6 +119,10 @@ struct Row {
     /// as width-1 windows, so modes that exclude work from the parallel
     /// path cannot inflate their mean.
     batch_width: f64,
+    /// Logical cores available on the measuring host — recorded so the
+    /// perf trajectory in BENCH_scale.json is interpretable (a 1.0x
+    /// `speedup_threads` on a 1-core host is expected, not a regression).
+    host_cores: usize,
 }
 
 /// Per-configuration comparison of the execution strategies.
@@ -246,6 +250,7 @@ fn run_one(
         } else {
             0.0
         },
+        host_cores: host_cores(),
     };
     RunOut {
         row,
@@ -389,6 +394,11 @@ struct Sweep {
 /// else the `DEEPSERVE_THREADS` env default, else the host's available
 /// parallelism capped at 4 (so an unconfigured laptop run still exercises
 /// the parallel path without oversubscribing).
+/// Logical cores on this host (1 when the query fails).
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn sweep_threads() -> usize {
     if let Some(n) = threads_flag() {
         return n;
@@ -397,9 +407,7 @@ fn sweep_threads() -> usize {
     if env > 1 {
         return env;
     }
-    std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(4)
+    host_cores().min(4)
 }
 
 fn main() {
@@ -596,6 +604,37 @@ fn main() {
         if ff.iters_per_sec < ss.iters_per_sec {
             eprintln!("FAIL: fast-forward below single-step iteration rate");
             std::process::exit(1);
+        }
+        // Calibration gate: on a genuinely multi-core host the persistent
+        // worker pool must deliver real wall-clock speedup on the compact
+        // PD config (the one with wide enough windows to amortize
+        // handoff). Skipped — loudly — on hosts without the cores to
+        // show it.
+        let cores = host_cores();
+        let pd = sweep
+            .pairs
+            .iter()
+            .find(|p| p.tes == 32)
+            .expect("smoke grid runs the compact PD config");
+        if cores >= 4 && threads >= 4 {
+            if pd.speedup_threads < 1.3 {
+                eprintln!(
+                    "FAIL: parallel-stepping calibration: speedup_threads {:.2}x < 1.3x \
+                     on the compact PD config ({cores} cores, {threads} threads)",
+                    pd.speedup_threads
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "calibration OK: compact-PD speedup_threads {:.2}x >= 1.3x \
+                 ({cores} cores, {threads} threads)",
+                pd.speedup_threads
+            );
+        } else {
+            println!(
+                "calibration skipped: host has {cores} core(s) / {threads} sweep thread(s); \
+                 the >= 1.3x compact-PD speedup gate needs 4 of each"
+            );
         }
         // RSS gate on the large streamed run.
         let streamed_peak = sweep

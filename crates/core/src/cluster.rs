@@ -13,6 +13,7 @@ use crate::fleet::{ColdStartMode, FleetConfig, LoadState, ModelRegistry};
 use crate::heatmap::Heatmap;
 use crate::je::{Decision, JobExecutor, Policy, SchedPool, Target, TeSnapshot};
 use crate::manager::{HealthConfig, HealthMonitor};
+use crate::pool::{PoolMember, WorkerPool};
 use crate::predictor::{DecodePredictor, FixedAccuracy, Oracle};
 use crate::prompt_tree::TeId;
 use crate::scaling::{LoadPath, ScalingModel, ScalingOptimizations, SourceLoad};
@@ -435,10 +436,20 @@ pub struct ClusterSim {
     batch_scratch: Vec<(SimTime, TeId, bool)>,
     /// Reused per-TE membership flags for batch collection.
     batch_member: Vec<bool>,
-    /// Reused TE-index -> batch-slot map for the worker phase.
-    slot_scratch: Vec<usize>,
     /// Recycled engine-event buffers handed to batch workers.
     wake_buf_pool: Vec<Vec<EngineEvent>>,
+    /// Persistent worker pool for parallel stepping. Created when
+    /// `threads > 1` (eagerly by `set_threads`, lazily on the first
+    /// parallel wave when the env default selects multi-threading), torn
+    /// down and rebuilt on reconfigure, dropped with the sim. `None`
+    /// while single-threaded.
+    pool: Option<WorkerPool>,
+    /// Recycled placeholder engines: swapped into a TE slot while its
+    /// real engine is out in the pool for a wave. Zero-KV config — they
+    /// are never stepped, only parked.
+    spare_engines: Vec<Engine>,
+    /// Reused member buffer for pool dispatch.
+    pool_members: Vec<PoolMember>,
     /// Let prefill wakes join parallel windows under a conservative
     /// KV-migration fence (see `prefill_fence`). On by default; ignored
     /// while the fault layer is armed.
@@ -453,9 +464,9 @@ pub struct ClusterSim {
     exec_batches: u64,
     exec_members: u64,
     exec_prefill_members: u64,
-    /// Wake events forced through the sequential path while a worker pool
-    /// was active (prefill wakes under narrow windows or fault layers) —
-    /// each is effectively a width-1 window for width accounting.
+    /// Wake events forced through the sequential path (prefill wakes
+    /// under narrow windows or fault layers) — each is effectively a
+    /// width-1 window for width accounting, at any thread count.
     exec_seq_wakes: u64,
     // --- fault layer (inert until `install_faults`) ---
     fault_cfg: FaultRecoveryConfig,
@@ -611,8 +622,10 @@ impl ClusterSim {
             events_scratch: Vec::new(),
             batch_scratch: Vec::new(),
             batch_member: Vec::new(),
-            slot_scratch: Vec::new(),
             wake_buf_pool: Vec::new(),
+            pool: None,
+            spare_engines: Vec::new(),
+            pool_members: Vec::new(),
             wide_windows: true,
             fence_scratch: Vec::new(),
             wave_bufs: Vec::new(),
@@ -696,9 +709,18 @@ impl ClusterSim {
     /// Sets the worker-thread count for parallel stepping (clamped to at
     /// least 1 = the classic sequential loop). Like fast-forward, this is a
     /// pure execution-strategy knob: reports and traces are bit-identical
-    /// at every thread count, so any value is safe anywhere.
+    /// at every thread count, so any value is safe anywhere — including
+    /// mid-run: the persistent pool for the old count is torn down (queue
+    /// closed, workers joined) and a fresh one stood up, and the next wave
+    /// dispatches into it with no state carried over.
     pub fn set_threads(&mut self, n: usize) {
         self.threads = n.max(1);
+        // Reconfigure the persistent pool generation eagerly: dropping the
+        // old pool closes its queue and joins its workers.
+        self.pool = None;
+        if self.threads > 1 {
+            self.pool = Some(WorkerPool::new(self.threads));
+        }
     }
 
     /// The configured worker-thread count.
@@ -718,8 +740,11 @@ impl ClusterSim {
 
     /// Parallel-stepping telemetry across all batches so far: `(batches,
     /// members advanced, prefill members advanced, sequentially-stepped
-    /// wakes)`. The last component counts wake events that bypassed the
-    /// parallel window while a worker pool was active — each is a forced
+    /// wakes)`. Windows are collected at every thread count (a
+    /// `threads: 1` run reports the same widths it *would* parallelize),
+    /// so width comparisons never require a threads≥2 run. The last
+    /// component counts wake events that bypassed the window (prefill
+    /// wakes under narrow windows or fault layers) — each is a forced
     /// width-1 step, so the effective mean window width is
     /// `(members + seq) / (batches + seq)`. Execution-strategy metadata
     /// like `sim.events_processed`, deliberately kept out of the
@@ -985,14 +1010,13 @@ impl ClusterSim {
             self.note_popped(now, ev);
             processed += match ev {
                 Event::Wake(te)
-                    if self.threads > 1
-                        && (self.tes[te.0 as usize].role != TeRole::Prefill
-                            || (self.wide_windows && self.health.is_none())) =>
+                    if self.tes[te.0 as usize].role != TeRole::Prefill
+                        || (self.wide_windows && self.health.is_none()) =>
                 {
                     self.step_wake_batch(now, te)
                 }
                 _ => {
-                    if self.threads > 1 && matches!(ev, Event::Wake(_)) {
+                    if matches!(ev, Event::Wake(_)) {
                         self.exec_seq_wakes += 1;
                     }
                     self.handle(now, ev);
@@ -1113,18 +1137,20 @@ impl ClusterSim {
             self.note_popped(now, ev);
             processed += match ev {
                 // Parallel stepping: a wake at the queue head may lead a
-                // batch of independent engine advances. Prefill wakes
-                // participate only under wide windows (fault-free runs) —
-                // their KV migrations are bounded by a conservative fence.
+                // batch of independent engine advances (collected at any
+                // thread count, so window-width telemetry is populated on
+                // `threads: 1` runs too; execution is sequential there).
+                // Prefill wakes participate only under wide windows
+                // (fault-free runs) — their KV migrations are bounded by
+                // a conservative fence.
                 Event::Wake(te)
-                    if self.threads > 1
-                        && (self.tes[te.0 as usize].role != TeRole::Prefill
-                            || (self.wide_windows && self.health.is_none())) =>
+                    if self.tes[te.0 as usize].role != TeRole::Prefill
+                        || (self.wide_windows && self.health.is_none()) =>
                 {
                     self.step_wake_batch(now, te)
                 }
                 _ => {
-                    if self.threads > 1 && matches!(ev, Event::Wake(_)) {
+                    if matches!(ev, Event::Wake(_)) {
                         self.exec_seq_wakes += 1;
                     }
                     self.handle(now, ev);
@@ -1451,8 +1477,9 @@ impl ClusterSim {
 
     /// Conservative parallel stepping: handles `first` (an already-popped
     /// wake) together with every consecutive queue-head event that is also
-    /// an independent wake, advancing the engines concurrently on scoped
-    /// worker threads. Prefill wakes join only under wide windows (fault-
+    /// an independent wake, advancing the engines concurrently on the
+    /// persistent worker pool (sequentially in place at one thread).
+    /// Prefill wakes join only under wide windows (fault-
     /// free runs), fenced by `prefill_fence`; otherwise they end
     /// collection. Returns the number of events processed (batch members
     /// plus merge-drained reschedules).
@@ -1481,9 +1508,10 @@ impl ClusterSim {
     ///   within a wave the multiset is frozen, and the read at a wave
     ///   boundary happens after the preceding prefill applications, right
     ///   where the sequential loop would observe the change.
-    /// * **Exact-order merge.** Workers only mutate their own engine and
-    ///   fill a private event buffer. The coordinator then replays the
-    ///   buffers in pop order, and before applying member *i* at `t_i`
+    /// * **Exact-order merge.** Workers only mutate the engines moved to
+    ///   them and fill private event buffers; the pool reassembles chunks
+    ///   by original wave position regardless of which lane finished
+    ///   first. The coordinator then replays the buffers in pop order, and before applying member *i* at `t_i`
     ///   drains every queue event strictly earlier than `t_i` — the only
     ///   such events are wakes the merge itself scheduled for
     ///   already-applied members, which sequentially would fire between
@@ -1647,69 +1675,100 @@ impl ClusterSim {
         processed
     }
 
-    /// Advances the gated members of one wave concurrently on up to
-    /// `self.threads` scoped workers, filling one private event buffer
-    /// per gated member (in wave order). Reads the pacing on entry — i.e.
-    /// after every preceding wave's application, the only point inside a
-    /// batch where the horizon multiset can change (see
-    /// `step_wake_batch`).
+    /// Advances the gated members of one wave, filling one private event
+    /// buffer per gated member (in wave order). Single-threaded (or
+    /// single-member) waves run the classic sequential loop; otherwise
+    /// each member's engine is moved into the persistent [`WorkerPool`]
+    /// (a recycled zero-capacity placeholder parks in its TE slot) and
+    /// the pool advances the wave across its lanes with work-stealing.
+    /// Either way the results land back in wave order, so the merge in
+    /// `step_wake_batch` is oblivious to the execution strategy. Reads
+    /// the pacing on entry — i.e. after every preceding wave's
+    /// application, the only point inside a batch where the horizon
+    /// multiset can change (see `step_wake_batch`).
     fn advance_wave(&mut self, wave: &[(SimTime, TeId, bool)], bufs: &mut [Vec<EngineEvent>]) {
         let pacing = self.current_pacing();
-        // Disjoint `&mut Engine`s, in wave order: members are distinct
-        // TEs, so one pass over the pool can hand each slot its engine.
-        let n_tes = self.tes.len();
-        let mut slot_of = std::mem::take(&mut self.slot_scratch);
-        slot_of.clear();
-        slot_of.resize(n_tes, usize::MAX);
+        if self.threads.min(bufs.len()) <= 1 {
+            // Sequential reference path: members are distinct TEs,
+            // advanced in wave order against their private buffers.
+            let mut slot = 0;
+            for &(t, te, ok) in wave {
+                if ok {
+                    self.tes[te.0 as usize]
+                        .engine
+                        .advance_paced(t, pacing, &mut bufs[slot]);
+                    slot += 1;
+                }
+            }
+            return;
+        }
+        // Parallel path. The pool's workers hold no borrow into the sim:
+        // each gated member's engine is *moved* out (a placeholder takes
+        // its slot), travels through the handoff channel with its wake
+        // time and buffer, and is moved back in wave order afterwards.
+        if self.pool.is_none() {
+            // `default_threads()` picked multi-threading without a
+            // `set_threads` call; stand the pool up on first use.
+            self.pool = Some(WorkerPool::new(self.threads));
+        }
+        let mut members = std::mem::take(&mut self.pool_members);
+        debug_assert!(members.is_empty());
         let mut slot = 0;
-        for &(_, te, ok) in wave {
-            if ok {
-                slot_of[te.0 as usize] = slot;
-                slot += 1;
+        for &(t, te, ok) in wave {
+            if !ok {
+                continue;
             }
-        }
-        let mut engines: Vec<Option<&mut Engine>> = (0..slot).map(|_| None).collect();
-        for (idx, te) in self.tes.iter_mut().enumerate() {
-            if slot_of[idx] != usize::MAX {
-                engines[slot_of[idx]] = Some(&mut te.engine);
-            }
-        }
-        let mut work: Vec<(SimTime, &mut Engine, &mut Vec<EngineEvent>)> = wave
-            .iter()
-            .filter(|e| e.2)
-            .zip(engines)
-            .zip(bufs.iter_mut())
-            // detlint: allow(panic) — slot invariant: every gated wave member was assigned exactly one engine by the partition above; verified by the parallel-stepping proptest corpus
-            .map(|((&(t, _, _), eng), buf)| (t, eng.expect("slot filled above"), buf))
-            .collect();
-        let workers = self.threads.min(work.len());
-        if workers <= 1 {
-            for (t, eng, buf) in &mut work {
-                eng.advance_paced(*t, pacing, buf);
-            }
-        } else {
-            let chunk = work.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                let mut chunks = work.chunks_mut(chunk);
-                let mine = chunks.next();
-                for theirs in chunks {
-                    s.spawn(move || {
-                        for (t, eng, buf) in theirs {
-                            eng.advance_paced(*t, pacing, buf);
-                        }
-                    });
-                }
-                // The coordinator works the first chunk instead of
-                // blocking at the scope's join.
-                if let Some(mine) = mine {
-                    for (t, eng, buf) in mine {
-                        eng.advance_paced(*t, pacing, buf);
-                    }
-                }
+            let placeholder = match self.spare_engines.pop() {
+                Some(e) => e,
+                None => Self::placeholder_engine(&self.cfg),
+            };
+            let engine = std::mem::replace(&mut self.tes[te.0 as usize].engine, placeholder);
+            members.push(PoolMember {
+                at: t,
+                engine,
+                buf: std::mem::take(&mut bufs[slot]),
             });
+            slot += 1;
         }
-        slot_of.clear();
-        self.slot_scratch = slot_of;
+        if let Some(pool) = self.pool.as_mut() {
+            pool.advance(pacing, &mut members);
+        }
+        let mut slot = 0;
+        let mut drained = members.drain(..);
+        for &(_, te, ok) in wave {
+            if !ok {
+                continue;
+            }
+            let Some(m) = drained.next() else {
+                break; // unreachable: pool returns every member it was given
+            };
+            let placeholder = std::mem::replace(&mut self.tes[te.0 as usize].engine, m.engine);
+            self.spare_engines.push(placeholder);
+            bufs[slot] = m.buf;
+            slot += 1;
+        }
+        drop(drained);
+        self.pool_members = members;
+    }
+
+    /// Builds a zero-capacity engine to park in a TE slot while the real
+    /// engine is out in the worker pool for a wave. `kv_reserve_frac:
+    /// 1.0` + `dram_blocks: 0` yield an engine with no KV blocks and an
+    /// empty RTC — it is only ever parked, never stepped, and the pool
+    /// recycles them through `spare_engines`.
+    fn placeholder_engine(cfg: &ClusterConfig) -> Engine {
+        let engine_cfg = EngineConfig {
+            kv_reserve_frac: 1.0,
+            dram_blocks: 0,
+            ..cfg.engine.clone()
+        };
+        let cost = ExecCostModel::new(
+            cfg.cluster.server.chip.clone(),
+            cfg.cluster.hccs,
+            cfg.model.clone(),
+            cfg.parallelism,
+        );
+        Engine::new(engine_cfg, cost)
     }
 
     /// Earliest instant at which running the prefill wake `(t, te)` could

@@ -20,6 +20,9 @@
 //!   of Table 2, plus the TE-Load paths (DRAM-hit/miss, NPU-fork) (§6).
 //! * [`cluster`] — the cluster simulation composing JEs, TEs, the fabric
 //!   and workloads (the testbed for Figures 4–6).
+//! * [`pool`] — the persistent worker pool backing parallel cluster
+//!   stepping: long-lived workers, channel handoff, wave-granularity
+//!   work-stealing, byte-identical merge order.
 //! * [`fleet`] — the serverless model-fleet registry: hundreds of model
 //!   endpoints, per-model load states, and cold-start pricing through the
 //!   storage hierarchy (§6.2).
@@ -32,6 +35,7 @@ pub mod fleet;
 pub mod heatmap;
 pub mod je;
 pub mod manager;
+pub mod pool;
 pub mod predictor;
 pub mod prompt_tree;
 pub mod scaling;
@@ -51,6 +55,7 @@ pub use manager::{
     AutoscaleSignal, Autoscaler, AutoscalerConfig, HealthConfig, HealthMonitor, PodPool,
     PreloadManager, ScaleAction, TePool,
 };
+pub use pool::{PoolMember, WorkerPool};
 pub use predictor::{Constant, DecodePredictor, FixedAccuracy, Oracle};
 pub use prompt_tree::{GlobalPromptTree, TeId};
 pub use scaling::{LoadPath, ScalingBreakdown, ScalingModel, ScalingOptimizations, SourceLoad};

@@ -1,0 +1,348 @@
+//! Persistent worker pool for parallel engine stepping.
+//!
+//! PR 4 introduced bit-identical parallel wake batches, but paid a
+//! `std::thread::scope` spawn + join on *every* window — and per-member
+//! engine advances are so cheap that the setup cost ate the speedup
+//! (BENCH_scale.json showed thread multipliers of 0.24–0.87x). This module
+//! replaces per-window spawning with N long-lived workers created once at
+//! [`crate::ClusterSim::set_threads`] and torn down on drop or
+//! reconfigure, following the shape ServerlessLLM and λScale use for
+//! execution resources: provision once, hand work off cheaply.
+//!
+//! ## Handoff protocol
+//!
+//! Each wave the coordinator bumps an [`Epoch`], splits the gated members
+//! into up to `2 × lanes` contiguous chunks (`lanes = workers + 1`; the
+//! over-split is what enables work-stealing at wave granularity), stamps
+//! every chunk with the epoch and its original start index, and pushes
+//! them all onto one shared closable [`TaskQueue`]. Workers and the
+//! coordinator then race to pop chunks — the coordinator works whatever it
+//! pops inline (its "first chunk" plus anything it steals back from a slow
+//! round) and collects worker completions over an `mpsc` channel until the
+//! round drains. Completions are reassembled **by start index**, so the
+//! order chunks finish in can never reorder results: determinism comes
+//! from where a result is placed, not when it arrives.
+//!
+//! ## Why merge order is unaffected
+//!
+//! A worker only ever touches the engines and event buffers *inside its
+//! own chunk* — `PoolMember` moves the owned [`Engine`] through the
+//! channel (the coordinator swaps a placeholder into the sim while the
+//! real engine is out), so there is no shared simulated state at all. The
+//! coordinator applies results in original member order, exactly as the
+//! sequential path does, and the cluster's exact-pop-order merge
+//! (`step_wake_batch`) runs unchanged downstream.
+//!
+//! ## Epoch / generation scheme
+//!
+//! Rounds are strictly sequential: [`WorkerPool::advance`] blocks until
+//! every chunk of the round it dispatched has returned. The epoch tag on
+//! each completion is asserted against the current round; a mismatch can
+//! only mean a protocol bug (e.g. a completion from a pool generation that
+//! should have been torn down) and fails loudly. Reconfiguration
+//! (`set_threads`) drops the whole pool — closing the queue wakes parked
+//! workers, which observe shutdown and exit — and builds a fresh one, so
+//! generations never share a queue or channel.
+//!
+//! ## Panic containment
+//!
+//! A panic inside a worker's chunk is caught (`catch_unwind`), converted
+//! into a [`Done::Poisoned`] completion carrying the panic message, and
+//! the worker *keeps looping* — so the coordinator always collects a full
+//! round (no deadlocked `recv`) and `Drop` can always join. After a
+//! poisoned round the coordinator re-panics with the worker's message:
+//! the pool fails loudly rather than serving a half-advanced wave.
+
+use flowserve::{Engine, EngineEvent, Pacing};
+use simcore::sync::{Epoch, TaskQueue};
+use simcore::SimTime;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One gated wave member travelling through the pool: the engine to
+/// advance, the wake time to advance it to, and the event buffer it fills.
+pub struct PoolMember {
+    /// Wake time for this member's `advance_paced` call.
+    pub at: SimTime,
+    /// The engine, moved out of the sim for the duration of the round.
+    pub engine: Engine,
+    /// Engine event buffer; filled by the advance, drained by the merge.
+    pub buf: Vec<EngineEvent>,
+}
+
+/// A unit of work handed to whoever pops it first (worker or coordinator).
+enum Job {
+    /// A contiguous chunk of wave members starting at `start` in the
+    /// original member order.
+    Chunk {
+        epoch: u64,
+        start: usize,
+        pacing: Pacing,
+        members: Vec<PoolMember>,
+    },
+    /// Test-only: panic inside the worker's `catch_unwind` to exercise the
+    /// poisoned-pool path end to end.
+    InjectPanic { epoch: u64 },
+}
+
+/// A completed unit of work.
+enum Done {
+    Chunk {
+        epoch: u64,
+        start: usize,
+        members: Vec<PoolMember>,
+    },
+    /// The job panicked; the panic message rides back for the coordinator
+    /// to re-raise.
+    Poisoned { epoch: u64, message: String },
+}
+
+/// Runs one job to completion, containing any panic it raises.
+fn run_job(job: Job) -> Done {
+    match job {
+        Job::Chunk {
+            epoch,
+            start,
+            pacing,
+            mut members,
+        } => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for m in &mut members {
+                    m.engine.advance_paced(m.at, pacing, &mut m.buf);
+                }
+            }));
+            match outcome {
+                Ok(()) => Done::Chunk {
+                    epoch,
+                    start,
+                    members,
+                },
+                Err(payload) => Done::Poisoned {
+                    epoch,
+                    message: panic_message(payload),
+                },
+            }
+        }
+        Job::InjectPanic { epoch } => {
+            // detlint: allow(panic) — deliberate test-only fault, raised
+            // inside catch_unwind to prove poisoned rounds propagate.
+            let outcome = catch_unwind(|| panic!("injected worker panic"));
+            match outcome {
+                Ok(()) => unreachable(epoch),
+                Err(payload) => Done::Poisoned {
+                    epoch,
+                    message: panic_message(payload),
+                },
+            }
+        }
+    }
+}
+
+/// `Job::InjectPanic` always unwinds; this arm exists only to satisfy the
+/// type checker without a panic-rule waiver on a reachable path.
+fn unreachable(epoch: u64) -> Done {
+    Done::Poisoned {
+        epoch,
+        message: "injected panic did not unwind".to_string(),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// N long-lived worker threads fed chunks of wave members over a shared
+/// closable queue, with coordinator participation and wave-granularity
+/// work-stealing. See the module docs for the protocol.
+pub struct WorkerPool {
+    injector: Arc<TaskQueue<Job>>,
+    results_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    epoch: Epoch,
+    /// Recycled chunk vectors: dispatch drains them, collection refills
+    /// them, so steady-state rounds allocate nothing.
+    spare_chunks: Vec<Vec<PoolMember>>,
+    /// Collection scratch, kept across rounds for the same reason.
+    scratch: Vec<(usize, Vec<PoolMember>)>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool backing `threads` lanes of parallelism: the
+    /// coordinator is lane 0, so `threads - 1` worker threads are created.
+    pub fn new(threads: usize) -> Self {
+        let injector: Arc<TaskQueue<Job>> = Arc::new(TaskQueue::new());
+        let (results_tx, results_rx): (Sender<Done>, Receiver<Done>) = channel();
+        let workers = threads.saturating_sub(1);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let q = Arc::clone(&injector);
+            let tx = results_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                // A caught panic becomes a Poisoned completion and the
+                // worker keeps looping, so rounds always drain and Drop
+                // always joins.
+                while let Some(job) = q.pop_wait() {
+                    if tx.send(run_job(job)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        WorkerPool {
+            injector,
+            results_rx,
+            handles,
+            epoch: Epoch::new(),
+            spare_chunks: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Worker threads owned by the pool (excludes the coordinator lane).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Advances every member to its wake time under `pacing`, in parallel
+    /// across the pool, and returns the members in their original order.
+    /// Blocks until the whole round completes. Panics (loudly, by design)
+    /// if any worker panicked while holding a chunk.
+    pub fn advance(&mut self, pacing: Pacing, members: &mut Vec<PoolMember>) {
+        let n = members.len();
+        if n == 0 {
+            return;
+        }
+        let epoch = self.epoch.advance();
+        // Over-split into up to 2 lanes' worth of chunks per lane so a
+        // fast lane can steal a second helping from a slow round.
+        let lanes = (self.handles.len() + 1).min(n);
+        let target_chunks = (2 * lanes).min(n);
+        let chunk_size = n.div_ceil(target_chunks);
+
+        // Drain members into recycled chunk vectors and enqueue the lot
+        // under one lock acquisition.
+        let mut jobs: Vec<Job> = Vec::with_capacity(target_chunks);
+        let mut start = 0;
+        let mut drain = members.drain(..);
+        while start < n {
+            let take = chunk_size.min(n - start);
+            let mut chunk = self.spare_chunks.pop().unwrap_or_default();
+            chunk.extend(drain.by_ref().take(take));
+            jobs.push(Job::Chunk {
+                epoch,
+                start,
+                pacing,
+                members: chunk,
+            });
+            start += take;
+        }
+        drop(drain);
+        let expected = jobs.len();
+        self.injector.push_all(jobs);
+
+        // Coordinator lane: work (and steal) chunks inline until the
+        // injector drains, then collect the stragglers from workers.
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        let mut poisoned: Option<String> = None;
+        let mut collected = 0;
+        let mut absorb = |done: Done, poisoned: &mut Option<String>| match done {
+            Done::Chunk {
+                epoch: e,
+                start,
+                members,
+            } => {
+                assert_eq!(e, epoch, "stale pool completion: round {e} vs {epoch}");
+                scratch.push((start, members));
+            }
+            Done::Poisoned { epoch: e, message } => {
+                assert_eq!(e, epoch, "stale pool poison: round {e} vs {epoch}");
+                poisoned.get_or_insert(message);
+            }
+        };
+        while let Some(job) = self.injector.try_pop() {
+            absorb(run_job(job), &mut poisoned);
+            collected += 1;
+        }
+        while collected < expected {
+            // The channel can only disconnect if every worker exited, which
+            // a live pool never does — treat it as a poisoned round rather
+            // than spinning.
+            match self.results_rx.recv() {
+                Ok(done) => absorb(done, &mut poisoned),
+                Err(_) => {
+                    poisoned.get_or_insert_with(|| "worker pool channel disconnected".to_string());
+                    break;
+                }
+            }
+            collected += 1;
+        }
+        if let Some(message) = poisoned {
+            // detlint: allow(panic) — poisoned pool must fail loudly: a
+            // half-advanced wave can never be merged deterministically.
+            panic!("worker pool poisoned: {message}");
+        }
+
+        // Reassemble in original member order — completion order is
+        // irrelevant by construction.
+        self.scratch.sort_unstable_by_key(|(start, _)| *start);
+        for (_, chunk) in &mut self.scratch {
+            members.append(chunk);
+        }
+        for (_, chunk) in self.scratch.drain(..) {
+            self.spare_chunks.push(chunk);
+        }
+        debug_assert_eq!(members.len(), n);
+    }
+
+    /// Test hook: dispatches a job that panics inside a worker and drives
+    /// the normal collection path, so tests can prove a poisoned pool
+    /// fails loudly instead of deadlocking. Panics like a real poisoned
+    /// round; run under `catch_unwind`.
+    pub fn inject_worker_panic(&mut self) {
+        let epoch = self.epoch.advance();
+        self.injector.push_all([Job::InjectPanic { epoch }]);
+        let done = if self.handles.is_empty() {
+            // No workers (threads == 1): exercise the same path inline.
+            self.injector.try_pop().map(run_job)
+        } else {
+            self.results_rx.recv().ok()
+        };
+        match done {
+            Some(Done::Poisoned { epoch: e, message }) => {
+                assert_eq!(e, epoch, "stale pool poison: round {e} vs {epoch}");
+                // detlint: allow(panic) — re-raises the injected worker
+                // panic; this is the behavior under test.
+                panic!("worker pool poisoned: {message}");
+            }
+            Some(Done::Chunk { .. }) | None => {
+                // detlint: allow(panic) — test hook: an injected panic
+                // that fails to surface is itself a protocol violation.
+                panic!("injected worker panic was not reported");
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Wake every parked worker; each observes shutdown and exits.
+        self.injector.close();
+        for handle in self.handles.drain(..) {
+            // Worker mains contain panics via catch_unwind, so join only
+            // fails after a payload the runtime itself refused — nothing
+            // actionable mid-drop, and re-panicking while unwinding would
+            // abort. Swallow it.
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Lifecycle edge cases for the persistent worker pool behind parallel
+//! cluster stepping: mid-run `set_threads` reconfiguration, dropping a
+//! pool whose workers are parked, worker panic propagation (a poisoned
+//! pool must fail loudly, never deadlock), and reassembly order under
+//! work-stealing. Byte-identity across thread counts at steady state is
+//! covered by `trace_consistency.rs`; this file covers the transitions.
+
+use deepserve::{ClusterConfig, ClusterSim, Policy, PoolMember, TeRole, WorkerPool};
+use flowserve::{Engine, EngineConfig, Pacing};
+use llm_model::{ExecCostModel, ModelSpec, Parallelism};
+use npu::specs::ClusterSpec;
+use simcore::{SimRng, SimTime};
+use workloads::ChatTrace;
+
+/// A small PD-mixed cluster with a fixed injected workload.
+fn sim_with(threads: usize) -> ClusterSim {
+    let mut rng = SimRng::seed_from_u64(29);
+    let reqs = deepserve::materialize_trace(&ChatTrace::paper(6.0).generate(&mut rng, 60), 64_000);
+    let cfg = ClusterConfig {
+        policy: Policy::Combined,
+        ..ClusterConfig::standard_34b()
+    };
+    let roles = [TeRole::Prefill, TeRole::Decode, TeRole::Colocated];
+    let mut sim = ClusterSim::new(cfg, &roles);
+    sim.set_threads(threads);
+    sim.inject(reqs);
+    sim
+}
+
+fn finish(mut sim: ClusterSim) -> (String, u64) {
+    let mut report = sim.run_to_completion();
+    (report.to_json().to_json(), report.latency.completed())
+}
+
+/// Reconfiguring the pool mid-run (4 -> 2 -> 5 threads, each swap tearing
+/// down one pool generation and standing up the next) must not move the
+/// report by a byte relative to a constant single-threaded run.
+#[test]
+fn set_threads_reconfigures_mid_run() {
+    let expect = finish(sim_with(1));
+
+    let mut sim = sim_with(4);
+    sim.step_until(SimTime::from_secs(3));
+    sim.set_threads(2);
+    sim.step_until(SimTime::from_secs(6));
+    sim.set_threads(5);
+    let got = finish(sim);
+
+    assert!(expect.1 > 0, "workload must actually complete requests");
+    assert_eq!(expect, got, "mid-run reconfiguration diverged");
+}
+
+/// A pool whose workers never received a job (and a sim whose pool was
+/// stood up but never dispatched into) must tear down promptly: close
+/// wakes every parked worker and join returns.
+#[test]
+fn drop_while_workers_parked() {
+    for threads in [2, 5, 8] {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(pool.workers(), threads - 1);
+        drop(pool);
+    }
+    // Cluster-level: `set_threads` creates the pool eagerly; dropping the
+    // sim without ever running drops it with workers still parked.
+    let sim = sim_with(6);
+    drop(sim);
+}
+
+fn test_engine() -> Engine {
+    let cluster = ClusterSpec::gen2_cluster(1);
+    let cost = ExecCostModel::new(
+        cluster.server.chip.clone(),
+        cluster.hccs,
+        ModelSpec::internal_34b(),
+        Parallelism::tp(4),
+    );
+    Engine::new(EngineConfig::colocated(), cost)
+}
+
+/// Members come back in their original order regardless of which lane
+/// finished first — with 10 members over 3 lanes the round splits into
+/// multiple stealable chunks, and repeated rounds exercise the epoch
+/// counter and the chunk-vector recycling.
+#[test]
+fn advance_preserves_member_order_across_rounds() {
+    let mut pool = WorkerPool::new(3);
+    for _ in 0..5 {
+        let mut members: Vec<PoolMember> = (1..=10)
+            .map(|i| PoolMember {
+                at: SimTime::from_secs(i),
+                engine: test_engine(),
+                buf: Vec::new(),
+            })
+            .collect();
+        pool.advance(Pacing::SingleStep, &mut members);
+        let ats: Vec<SimTime> = members.iter().map(|m| m.at).collect();
+        let expect: Vec<SimTime> = (1..=10).map(SimTime::from_secs).collect();
+        assert_eq!(ats, expect, "pool reassembly reordered the wave");
+    }
+    // An empty round is a no-op, not a hang.
+    let mut none: Vec<PoolMember> = Vec::new();
+    pool.advance(Pacing::SingleStep, &mut none);
+    assert!(none.is_empty());
+}
+
+/// A panic inside a worker must surface as a loud coordinator panic
+/// carrying the worker's message — not a deadlocked `recv` — and the
+/// poisoned pool must still tear down cleanly afterwards.
+#[test]
+fn worker_panic_fails_loudly_not_deadlocked() {
+    let mut pool = WorkerPool::new(4);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.inject_worker_panic()
+    }))
+    .expect_err("injected worker panic must propagate to the coordinator");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string payload>".to_string());
+    assert!(
+        msg.contains("worker pool poisoned") && msg.contains("injected worker panic"),
+        "unexpected panic message: {msg}"
+    );
+    // Workers caught the panic and kept looping; the pool still advances
+    // a healthy round and then drops without hanging.
+    let mut members: Vec<PoolMember> = (1..=4)
+        .map(|i| PoolMember {
+            at: SimTime::from_secs(i),
+            engine: test_engine(),
+            buf: Vec::new(),
+        })
+        .collect();
+    pool.advance(Pacing::SingleStep, &mut members);
+    assert_eq!(members.len(), 4);
+    drop(pool);
+}
+
+/// The inline (no-worker) variant of the injection hook takes the same
+/// fail-loud path.
+#[test]
+fn worker_panic_propagates_without_workers() {
+    let mut pool = WorkerPool::new(1);
+    assert_eq!(pool.workers(), 0);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.inject_worker_panic()
+    }))
+    .expect_err("inline injected panic must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string payload>".to_string());
+    assert!(msg.contains("worker pool poisoned"), "{msg}");
+}
+
+/// More threads than engines (8 threads, 2 TEs) still produces the
+/// reference report: excess lanes just idle.
+#[test]
+fn threads_exceeding_engines_is_bit_identical() {
+    let run = |threads: usize| {
+        let mut rng = SimRng::seed_from_u64(31);
+        let reqs =
+            deepserve::materialize_trace(&ChatTrace::paper(8.0).generate(&mut rng, 48), 64_000);
+        let cfg = ClusterConfig {
+            policy: Policy::Combined,
+            ..ClusterConfig::standard_34b()
+        };
+        let mut sim = ClusterSim::new(cfg, &[TeRole::Colocated, TeRole::Colocated]);
+        sim.set_threads(threads);
+        sim.inject(reqs);
+        let mut report = sim.run_to_completion();
+        (report.to_json().to_json(), report.trace.to_json().to_json())
+    };
+    let reference = run(1);
+    for threads in [3, 8] {
+        assert_eq!(reference, run(threads), "diverged at {threads} threads");
+    }
+}

@@ -395,8 +395,9 @@ fn run_threaded(
 
 proptest! {
     /// Random workloads x topologies x pacings x faults: the sequential
-    /// loop vs worker pools of 2, 4 and 8 threads must produce
-    /// byte-identical serialized reports AND traces.
+    /// loop vs worker pools of 2–8 threads (odd counts included, and —
+    /// with 2-3 TE topologies — always some cases where threads exceed
+    /// engines) must produce byte-identical serialized reports AND traces.
     #[test]
     fn parallel_stepping_is_bit_identical(
         seed in 0u64..10_000,
@@ -406,7 +407,7 @@ proptest! {
         max_batch in 4usize..48,
         fast_forward in 0usize..2,
         faulted in 0usize..2,
-        threads_idx in 0usize..3,
+        threads_idx in 0usize..5,
     ) {
         let roles: &[TeRole] = match topo {
             0 => &[TeRole::Colocated, TeRole::Colocated],
@@ -418,7 +419,7 @@ proptest! {
             max_batch,
             ..EngineConfig::colocated()
         };
-        let threads = [2usize, 4, 8][threads_idx];
+        let threads = [2usize, 3, 4, 5, 8][threads_idx];
         let rps = rps_x10 as f64 / 10.0;
         let ff = fast_forward == 1;
         let seq = run_threaded(1, ff, roles, engine.clone(), seed, rps, n_reqs, faulted == 1);
@@ -445,7 +446,7 @@ fn parallel_stepping_matches_sequential_disaggregated() {
         80,
         false,
     );
-    for threads in [2, 4, 8] {
+    for threads in [2, 3, 4, 5, 8] {
         let par = run_threaded(
             threads,
             true,
@@ -477,7 +478,7 @@ fn parallel_stepping_matches_sequential_faulted() {
         50,
         true,
     );
-    for threads in [2, 4, 8] {
+    for threads in [2, 3, 4, 5, 8] {
         let par = run_threaded(
             threads,
             true,
@@ -579,7 +580,7 @@ proptest! {
         models in 3usize..24,
         n_reqs in 8usize..32,
         fast_forward in 0usize..2,
-        threads_idx in 0usize..3,
+        threads_idx in 0usize..5,
         mode_idx in 0usize..3,
     ) {
         let mode = [
@@ -587,7 +588,7 @@ proptest! {
             ColdStartMode::Hierarchy,
             ColdStartMode::HierarchyMulticast,
         ][mode_idx];
-        let threads = [2usize, 4, 8][threads_idx];
+        let threads = [2usize, 3, 4, 5, 8][threads_idx];
         let ff = fast_forward == 1;
         let seq = run_fleet(1, ff, mode, seed, models, n_reqs);
         let par = run_fleet(threads, ff, mode, seed, models, n_reqs);
@@ -608,7 +609,7 @@ fn fleet_replay_is_bit_identical_across_threads() {
         run_fleet(1, true, ColdStartMode::Hierarchy, 17, 16, 40),
         "same seed must replay exactly"
     );
-    for threads in [2, 4, 8] {
+    for threads in [2, 3, 4, 5, 8] {
         let par = run_fleet(threads, true, ColdStartMode::Hierarchy, 17, 16, 40);
         assert_eq!(base.0, par.0, "fleet report diverged at {threads} threads");
         assert_eq!(base.1, par.1, "fleet trace diverged at {threads} threads");
@@ -628,7 +629,7 @@ fn fleet_replay_is_bit_identical_across_threads() {
 fn fleet_multicast_is_bit_identical_across_threads() {
     // Few models + real pressure so scale-out actually triggers.
     let base = run_fleet(1, true, ColdStartMode::HierarchyMulticast, 5, 3, 60);
-    for threads in [2, 4, 8] {
+    for threads in [2, 3, 4, 5, 8] {
         let par = run_fleet(threads, true, ColdStartMode::HierarchyMulticast, 5, 3, 60);
         assert_eq!(
             base.0, par.0,
@@ -682,7 +683,7 @@ proptest! {
         n_reqs in 8usize..40,
         topo in 0usize..4,
         fast_forward in 0usize..2,
-        threads_idx in 0usize..4,
+        threads_idx in 0usize..6,
     ) {
         let roles: &[TeRole] = match topo {
             0 => &[TeRole::Colocated, TeRole::Colocated],
@@ -690,7 +691,7 @@ proptest! {
             2 => &[TeRole::Prefill, TeRole::Prefill, TeRole::Decode],
             _ => &[TeRole::Prefill, TeRole::Decode, TeRole::Colocated],
         };
-        let threads = [1usize, 2, 4, 8][threads_idx];
+        let threads = [1usize, 2, 3, 4, 5, 8][threads_idx];
         let rps = rps_x10 as f64 / 10.0;
         let ff = fast_forward == 1;
         let engine = EngineConfig::colocated();

@@ -1,0 +1,4 @@
+pub fn persistent_workers() {
+    let handle = std::thread::spawn(|| {});
+    let _ = handle.join();
+}

@@ -199,13 +199,17 @@ pub struct Engine {
     /// Scratch per-sequence new-block lists for `fast_forward` (inner
     /// vectors stay allocated across windows; always empty between calls).
     scratch_new_blocks: Vec<Vec<BlockId>>,
+    /// Scratch vectorized iteration costs for `fast_forward` (windows of
+    /// upcoming step times priced in one cost-model call).
+    scratch_costs: Vec<SimDuration>,
 }
 
-/// Parallel cluster stepping hands `&mut Engine`s to scoped worker threads,
-/// so the engine must stay a plain owned value — no `Rc`, `RefCell`, raw
-/// pointers or thread-local handles. This assertion turns an accidental
-/// regression (e.g. a future cache wrapped in `Rc`) into a compile error at
-/// the definition site instead of a borrow-checker riddle in `deepserve`.
+/// Parallel cluster stepping moves owned `Engine`s through channels to a
+/// persistent worker pool, so the engine must stay a plain owned `Send`
+/// value — no `Rc`, `RefCell`, raw pointers or thread-local handles. This
+/// assertion turns an accidental regression (e.g. a future cache wrapped
+/// in `Rc`) into a compile error at the definition site instead of a
+/// borrow-checker riddle in `deepserve`.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<Engine>();
@@ -245,6 +249,7 @@ impl Engine {
             spare_prefill_parts: Vec::new(),
             scratch_slack: Vec::new(),
             scratch_new_blocks: Vec::new(),
+            scratch_costs: Vec::new(),
         }
     }
 
@@ -787,6 +792,15 @@ impl Engine {
             new_blocks.resize_with(b, Vec::new);
         }
         debug_assert!(new_blocks.iter().all(Vec::is_empty));
+        // Vectorized pricing: upcoming per-iteration costs are evaluated
+        // in windows of up to `COST_WINDOW` steps with one cost-model
+        // call (context-invariant roofline terms hoisted), bit-identical
+        // to per-step `step_time` — re-checked by the debug assertion in
+        // the loop. Bounded so a horizon/watermark break wastes little.
+        const COST_WINDOW: u64 = 64;
+        let mut costs = std::mem::take(&mut self.scratch_costs);
+        costs.clear();
+        let mut cost_i = 0usize;
         let mut absorbed: u64 = 0;
         let mut busy_acc = SimDuration::ZERO;
         // Appends the *next* boundary needs; updated incrementally by the
@@ -806,6 +820,16 @@ impl Engine {
             }
             if next_appends > free {
                 break; // allocation would evict or preempt; single-step it
+            }
+            if cost_i == costs.len() {
+                // Refill the price window from the current context (the
+                // cost model advances it by `b` before each step, exactly
+                // like the scalar path below).
+                costs.clear();
+                cost_i = 0;
+                let steps = (min_rem - 1 - absorbed).min(COST_WINDOW);
+                self.cost
+                    .decode_step_times_into(b as u64, context_total, steps, &mut costs);
             }
             // Absorb the boundary: complete this iteration silently and
             // form the next one. Pool appends happen for real, in batch
@@ -831,10 +855,16 @@ impl Engine {
             context_total += b as u64;
             // Exactly `start_iteration`'s arithmetic for a pure-decode
             // batch, including the per-iteration float -> integer-ns
-            // rounding (a closed-form sum would drift by ulps).
-            let npu = self
-                .cost
-                .step_time(&BatchWork::decode(b as u64, context_total));
+            // rounding (a closed-form sum would drift by ulps) — served
+            // from the vectorized window above.
+            let npu = costs[cost_i];
+            cost_i += 1;
+            debug_assert_eq!(
+                npu,
+                self.cost
+                    .step_time(&BatchWork::decode(b as u64, context_total)),
+                "vectorized decode pricing diverged from scalar step_time"
+            );
             let wall = if self.cfg.version.async_sched {
                 SimDuration::from_secs_f64(npu.as_secs_f64().max(cpu_overlap) + cpu_residual)
             } else {
@@ -883,6 +913,8 @@ impl Engine {
         }
         self.scratch_slack = slack;
         self.scratch_new_blocks = new_blocks;
+        costs.clear();
+        self.scratch_costs = costs;
         self.current = Some(it);
     }
 

@@ -1,0 +1,207 @@
+//! Coordination primitives for persistent worker pools.
+//!
+//! The simulation kernel itself is single-threaded (see the crate docs);
+//! these types exist for *drivers* that step independent components on
+//! long-lived worker threads and merge the results back in an order they
+//! fully determine. Nothing here touches simulated state: a [`TaskQueue`]
+//! carries opaque jobs, and an [`Epoch`] tags dispatch rounds so a
+//! coordinator can assert that every completion it applies belongs to the
+//! round it is collecting — a cheap guard against stale results leaking
+//! across a pool reconfiguration.
+//!
+//! Hand-rolled over `std::sync::{Mutex, Condvar}`: the offline build
+//! vendors no crossbeam/rayon, and the queue needs exactly one nonstandard
+//! behavior anyway — a *closable* MPMC queue whose blocked consumers all
+//! wake and observe shutdown, so a pool can be torn down while its workers
+//! are parked without leaking threads or deadlocking.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// A closable multi-producer multi-consumer FIFO job queue.
+///
+/// * [`TaskQueue::push_all`] enqueues a batch under one lock acquisition
+///   and wakes every parked consumer.
+/// * [`TaskQueue::pop_wait`] blocks until a job or shutdown arrives;
+///   `None` means the queue is closed *and* drained — the consumer should
+///   exit.
+/// * [`TaskQueue::try_pop`] never blocks — the coordinator uses it to
+///   steal jobs while it waits for workers, which is what makes
+///   work-stealing between chunks free: whoever drains first (worker or
+///   coordinator) just pops the next chunk.
+///
+/// Lock poisoning is deliberately ignored (`PoisonError::into_inner`):
+/// every critical section is a single push/pop on a `VecDeque`, so a
+/// consumer that panicked *outside* the lock cannot have left the queue
+/// itself in a half-mutated state, and teardown paths (close + drain on
+/// drop) must keep working mid-unwind or a worker panic would cascade
+/// into a coordinator deadlock.
+pub struct TaskQueue<T> {
+    state: Mutex<TaskState<T>>,
+    ready: Condvar,
+}
+
+struct TaskState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for TaskQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TaskQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        TaskQueue {
+            state: Mutex::new(TaskState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues every job in `batch` under one lock acquisition and wakes
+    /// all parked consumers. Jobs pushed after [`TaskQueue::close`] are
+    /// dropped silently — the pool is shutting down and no consumer will
+    /// return for them.
+    pub fn push_all<I: IntoIterator<Item = T>>(&self, batch: I) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.closed {
+            st.jobs.extend(batch);
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Pops the next job without blocking; `None` when the queue is empty
+    /// (closed or not).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .pop_front()
+    }
+
+    /// Blocks until a job is available or the queue is closed and drained
+    /// (`None`: the consumer should exit).
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: parked consumers wake and drain the backlog, then
+    /// observe shutdown. Idempotent.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`TaskQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+
+    /// Jobs currently queued (racy by nature; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A monotonically increasing dispatch-round counter.
+///
+/// A coordinator bumps the epoch once per dispatch round, stamps every job
+/// with it, and asserts that each completion it collects carries the
+/// current value. Rounds are strictly sequential (the coordinator blocks
+/// until a round fully drains before starting the next), so a mismatched
+/// epoch can only mean a protocol bug — results from a torn-down pool
+/// generation surviving a reconfigure — and the coordinator should fail
+/// loudly rather than merge them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The zero epoch (no round dispatched yet).
+    pub fn new() -> Self {
+        Epoch(0)
+    }
+
+    /// Advances to the next round and returns its tag.
+    pub fn advance(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// The current round tag.
+    pub fn current(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_close() {
+        let q: TaskQueue<u32> = TaskQueue::new();
+        q.push_all([1, 2, 3]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        q.close();
+        // Backlog drains even after close...
+        assert_eq!(q.pop_wait(), Some(3));
+        // ...then consumers observe shutdown instead of blocking.
+        assert_eq!(q.pop_wait(), None);
+        assert!(q.is_closed());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_after_close_is_dropped() {
+        let q: TaskQueue<u32> = TaskQueue::new();
+        q.close();
+        q.push_all([7]);
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn epoch_advances_monotonically() {
+        let mut e = Epoch::new();
+        assert_eq!(e.current(), 0);
+        assert_eq!(e.advance(), 1);
+        assert_eq!(e.advance(), 2);
+        assert_eq!(e.current(), 2);
+    }
+}
