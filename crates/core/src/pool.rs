@@ -57,9 +57,20 @@ use flowserve::{Engine, EngineEvent, Pacing};
 use simcore::sync::{Epoch, TaskQueue};
 use simcore::SimTime;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+// Under the `detcheck` feature the channel and the thread handles come
+// from the model checker's shim layer, making every channel op, spawn
+// and join a scheduler yield point inside a model run (and plain std
+// passthrough outside one). See crates/detcheck.
+#[cfg(feature = "detcheck")]
+use detcheck::sync::mpsc::{channel, Receiver, Sender};
+#[cfg(feature = "detcheck")]
+use detcheck::thread::{spawn, JoinHandle};
+#[cfg(not(feature = "detcheck"))]
+use std::sync::mpsc::{channel, Receiver, Sender};
+#[cfg(not(feature = "detcheck"))]
+use std::thread::{spawn, JoinHandle};
 
 /// One gated wave member travelling through the pool: the engine to
 /// advance, the wake time to advance it to, and the event buffer it fills.
@@ -186,7 +197,7 @@ impl WorkerPool {
         for _ in 0..workers {
             let q = Arc::clone(&injector);
             let tx = results_tx.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(spawn(move || {
                 // A caught panic becomes a Poisoned completion and the
                 // worker keeps looping, so rounds always drain and Drop
                 // always joins.

@@ -109,10 +109,8 @@ fn advance_preserves_member_order_across_rounds() {
 #[test]
 fn worker_panic_fails_loudly_not_deadlocked() {
     let mut pool = WorkerPool::new(4);
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pool.inject_worker_panic()
-    }))
-    .expect_err("injected worker panic must propagate to the coordinator");
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.inject_worker_panic()))
+        .expect_err("injected worker panic must propagate to the coordinator");
     let msg = err
         .downcast_ref::<String>()
         .cloned()
@@ -141,15 +139,81 @@ fn worker_panic_fails_loudly_not_deadlocked() {
 fn worker_panic_propagates_without_workers() {
     let mut pool = WorkerPool::new(1);
     assert_eq!(pool.workers(), 0);
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pool.inject_worker_panic()
-    }))
-    .expect_err("inline injected panic must propagate");
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.inject_worker_panic()))
+        .expect_err("inline injected panic must propagate");
     let msg = err
         .downcast_ref::<String>()
         .cloned()
         .unwrap_or_else(|| "<non-string payload>".to_string());
     assert!(msg.contains("worker pool poisoned"), "{msg}");
+}
+
+/// Stress: 200 event rounds stepped one pending-event time at a time,
+/// with the pool torn down and rebuilt every 10 rounds cycling through
+/// {2, 5, 8} threads. Twenty pool generations across three widths while
+/// requests are in flight must not move the report by a byte relative to
+/// a constant single-threaded run.
+#[test]
+fn churned_stress_200_rounds_is_bit_identical() {
+    let expect = finish(sim_with(1));
+
+    let mut sim = sim_with(2);
+    let churn = [2usize, 5, 8];
+    let mut swaps = 0;
+    let mut rounds = 0;
+    while rounds < 200 {
+        let Some(next) = sim.next_event_time() else {
+            break;
+        };
+        sim.step_until(next);
+        rounds += 1;
+        if rounds % 10 == 0 {
+            swaps += 1;
+            sim.set_threads(churn[swaps % churn.len()]);
+        }
+    }
+    assert_eq!(
+        rounds, 200,
+        "workload drained before the churn schedule ran"
+    );
+    assert_eq!(swaps, 20, "every scheduled reconfiguration must have fired");
+    let got = finish(sim);
+
+    assert!(expect.1 > 0, "workload must actually complete requests");
+    assert_eq!(expect, got, "thread churn under load diverged");
+}
+
+/// A worker panic during the *final* round before teardown: the poisoned
+/// pool's Drop must still close the queue, wake every parked worker and
+/// join all of them — a hang here is the lost-wakeup/teardown bug class
+/// the model checker guards (`detcheck` covers the same path
+/// exhaustively in `pool_model.rs`).
+#[test]
+fn worker_panic_during_final_round_still_joins_on_drop() {
+    let mut pool = WorkerPool::new(5);
+    assert_eq!(pool.workers(), 4);
+    // A few healthy rounds first, so workers are warm and parked again.
+    for _ in 0..3 {
+        let mut members: Vec<PoolMember> = (1..=4)
+            .map(|i| PoolMember {
+                at: SimTime::from_secs(i),
+                engine: test_engine(),
+                buf: Vec::new(),
+            })
+            .collect();
+        pool.advance(Pacing::SingleStep, &mut members);
+    }
+    // Final round: a worker panics mid-round.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.inject_worker_panic()))
+        .expect_err("injected worker panic must propagate to the coordinator");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string payload>".to_string());
+    assert!(msg.contains("worker pool poisoned"), "{msg}");
+    // No healthy round in between: teardown happens directly after the
+    // poisoned round. Drop must join all four workers without hanging.
+    drop(pool);
 }
 
 /// More threads than engines (8 threads, 2 TEs) still produces the

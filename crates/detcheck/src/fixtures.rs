@@ -1,0 +1,149 @@
+//! Deliberately buggy protocol fixtures.
+//!
+//! These exist to prove the checker's detection power (and to keep
+//! proving it in CI): each type seeds one classic condvar bug that the
+//! real `simcore::sync::TaskQueue` avoids, and a test in
+//! `tests/detect.rs` asserts the explorer catches it with a replayable
+//! schedule. If a refactor ever made these pass, the checker — not the
+//! fixtures — would be broken.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+
+/// A closable queue whose `close` wakes consumers *before* setting the
+/// closed flag, and outside the lock — the textbook lost-wakeup bug.
+///
+/// The race: a consumer holding the lock observes `(empty, open)` and
+/// commits to parking; `close` runs its notify in the window before the
+/// park completes (it doesn't need the lock, so nothing stops it); the
+/// notify finds no waiters and is lost; the consumer then parks and the
+/// flag-set that follows never wakes it. The model checker reports this
+/// as a deadlock with the consumer parked and the closer finished.
+pub struct LostWakeupQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for LostWakeupQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LostWakeupQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        LostWakeupQueue {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one job (correctly: mutate under the lock, then notify).
+    pub fn push(&self, job: T) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.closed {
+            st.jobs.push_back(job);
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a job arrives or the queue closes (correct wait loop;
+    /// the bug is on the close side).
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// SEEDED BUG: notifies before the closed flag is set, and without
+    /// holding the lock. Compare `simcore::sync::TaskQueue::close`, which
+    /// sets the flag under the lock first.
+    pub fn close(&self) {
+        self.ready.notify_all();
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+    }
+}
+
+/// A queue whose consumer gates its wait with `if` instead of `while` —
+/// correct only if condvar wakeups are never spurious, which the std
+/// contract explicitly does not promise.
+///
+/// Under [`crate::Config::spurious_wakeups`] the explorer injects a
+/// wakeup with no matching notify; the consumer then returns `None` with
+/// the queue still open, and a caller assertion ("a pushed job is never
+/// lost") fails on a replayable schedule.
+pub struct IfGateQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for IfGateQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IfGateQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        IfGateQueue {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one job and wakes a consumer.
+    pub fn push(&self, job: T) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !st.closed {
+            st.jobs.push_back(job);
+        }
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Marks the queue closed (correctly, under the lock) and wakes
+    /// everyone.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+
+    /// SEEDED BUG: waits at most once (`if`, not `while`), so a spurious
+    /// wakeup returns `None` even though the queue is open and a job may
+    /// still arrive.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.jobs.is_empty() && !st.closed {
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.jobs.pop_front()
+    }
+}

@@ -1,0 +1,95 @@
+//! detcheck — a loom-style concurrency model checker for the worker-pool
+//! protocols. Dependency-free: the offline build vendors neither loom nor
+//! any test-support crate.
+//!
+//! ## How it works
+//!
+//! [`explore`] runs a test closure repeatedly, each time under a
+//! different thread interleaving chosen by a controlled scheduler, until
+//! every schedule within a bounded number of preemptions has been tried
+//! (depth-first, deterministic). The closure must do its concurrency
+//! through the shim primitives in [`sync`] and [`thread`] — in practice
+//! through `simcore::sync` and `deepserve::pool` compiled with their
+//! `detcheck` features, which alias those modules' `Mutex`, `Condvar`,
+//! `mpsc`, `spawn` and `JoinHandle` to the shims. Every lock acquire,
+//! condvar wait/notify, atomic access, channel operation, spawn and join
+//! is a yield point.
+//!
+//! The explorer detects:
+//! - **deadlocks** — no thread can run and not all have finished; this is
+//!   also how *lost wakeups* surface (the waiter is parked forever);
+//! - **assertion failures / panics** on any model thread;
+//! - **livelock suspects** — executions exceeding the op budget.
+//!
+//! On failure it reports the *schedule* (the thread chosen at each branch
+//! point) and the full `(thread, op, location)` trace; [`replay`] re-runs
+//! the exact interleaving from the schedule alone.
+//!
+//! ## Passthrough outside model runs
+//!
+//! Cargo feature unification means that in a workspace test build the
+//! `detcheck` features of simcore/deepserve are active for *every* test
+//! binary, not just this crate's. The shims therefore dispatch per
+//! operation: threads registered with a running exploration get model
+//! semantics; all others get the real `std::sync` behavior. Normal
+//! (`cargo build`) artifacts never enable the feature at all.
+
+#![forbid(unsafe_code)]
+
+pub mod fixtures;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{explore, replay, Config, Failure, FailureKind, Outcome, TraceEvent};
+
+/// Summary of a completed (non-failing) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Exploration {
+    /// Interleavings explored.
+    pub executions: usize,
+    /// True when the schedule tree was exhausted (vs. hitting
+    /// [`Config::max_executions`]).
+    pub exhausted: bool,
+}
+
+/// Explores `f` under `cfg`; on failure, writes the replayable schedule
+/// trace to `target/detcheck/<name>.trace.txt` and panics with the full
+/// report (this is the `#[test]` entry point — CI uploads the trace files
+/// as artifacts).
+pub fn check_named<F>(name: &str, cfg: Config, f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match explore(cfg, f) {
+        Outcome::Pass { executions } => Exploration {
+            executions,
+            exhausted: true,
+        },
+        Outcome::Capped { executions } => Exploration {
+            executions,
+            exhausted: false,
+        },
+        Outcome::Failed(failure) => {
+            let written = write_trace(name, &failure);
+            let dest = written.unwrap_or_else(|e| format!("<trace file not written: {e}>"));
+            panic!(
+                "detcheck[{name}] found a failing interleaving:\n{failure}schedule trace: {dest}"
+            );
+        }
+    }
+}
+
+/// Writes a failure's schedule trace under `target/detcheck/`.
+fn write_trace(name: &str, failure: &Failure) -> Result<String, std::io::Error> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/detcheck");
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}.trace.txt");
+    let body = format!(
+        "detcheck failing-schedule trace: {name}\n\
+         replay with: detcheck::replay(cfg, &{:?}, || ...)\n\n{failure}",
+        failure.schedule
+    );
+    std::fs::write(&path, body)?;
+    Ok(path)
+}

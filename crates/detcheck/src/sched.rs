@@ -1,0 +1,962 @@
+//! The controlled scheduler and DFS interleaving explorer.
+//!
+//! A model-checked execution runs every "model thread" on a real OS
+//! thread, but only one of them is ever *runnable* at a time: each shim
+//! operation (lock acquire, condvar wait/notify, atomic access, channel
+//! op, spawn, join) is a yield point where the running thread declares
+//! its intended operation and hands control to the scheduler, which picks
+//! the next thread to execute from the set whose declared operations are
+//! *enabled* (a lock acquire is enabled iff the mutex is free, a join iff
+//! the target finished, and so on). Every point where more than one
+//! choice exists becomes a branch in a depth-first exploration: the test
+//! body is re-executed once per schedule until the tree is exhausted,
+//! with the number of *preemptions* (switching away from a thread that
+//! could have continued) bounded to keep the state space tractable —
+//! forced switches (the running thread blocked or finished) are free, so
+//! every schedule needed to expose a blocking bug stays reachable.
+//!
+//! Deadlocks are detected exactly: if no declared operation is enabled
+//! and not every thread has finished, the remaining threads can never run
+//! again — this is also how lost wakeups manifest (a notify that fired
+//! before the waiter parked leaves the waiter ineligible forever). On any
+//! failure (deadlock, panic/assertion in a model thread, or the
+//! per-execution op budget tripping on a livelock) the explorer stops and
+//! reports the *schedule* — the ordered list of thread choices at each
+//! branch — plus the full operation trace `(thread, op, location)`.
+//! Feeding the schedule to [`replay`] re-runs that exact interleaving.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found, or exploration torn down). Never user-visible: the
+/// thread wrapper catches it and the global panic hook stays silent on it.
+pub(crate) struct Abort;
+
+/// Exploration limits and semantic knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum preemptive context switches per execution (switching away
+    /// from a thread whose next operation was enabled). Forced switches —
+    /// the running thread blocked, parked, or finished — are always free.
+    pub max_preemptions: usize,
+    /// Hard cap on explored interleavings; hitting it yields
+    /// [`Outcome::Capped`] instead of a completeness claim.
+    pub max_executions: usize,
+    /// Per-execution operation budget; exceeding it is reported as a
+    /// suspected livelock.
+    pub max_ops: usize,
+    /// Also explore spurious condvar wakeups (a parked waiter may resume
+    /// without a notify, as the std contract allows). Off by default —
+    /// it multiplies the state space and only matters for
+    /// `if`-instead-of-`while` wait loops.
+    pub spurious_wakeups: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: 2,
+            max_executions: 1_000_000,
+            max_ops: 50_000,
+            spurious_wakeups: false,
+        }
+    }
+}
+
+/// One recorded shim operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Model thread index (0 is the test body).
+    pub thread: usize,
+    /// Operation name (`lock`, `unlock`, `cv-wait-park`, `notify-all`, …).
+    pub op: String,
+    /// `file:line` of the shim call site ([`std::panic::Location`]).
+    pub location: String,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}  {:<18} {}", self.thread, self.op, self.location)
+    }
+}
+
+/// What went wrong on the failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread and not all finished; `blocked` describes each
+    /// stuck thread.
+    Deadlock { blocked: Vec<(usize, String)> },
+    /// A model thread panicked (assertion failure or unexpected unwind).
+    Panic { thread: usize, message: String },
+    /// The per-execution op budget tripped — a livelock suspect.
+    OpBudget { ops: usize },
+}
+
+/// A failing exploration result: the kind, the replayable schedule, and
+/// the full operation trace of the failing execution.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What failed.
+    pub kind: FailureKind,
+    /// Thread chosen at each branch point — feed to [`replay`] to re-run
+    /// this exact interleaving.
+    pub schedule: Vec<usize>,
+    /// Ordered `(thread, op, location)` operation log of the failing run.
+    pub trace: Vec<TraceEvent>,
+    /// Interleavings explored before this one failed (inclusive).
+    pub executions: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { blocked } => {
+                writeln!(f, "deadlock after {} interleaving(s):", self.executions)?;
+                for (tid, why) in blocked {
+                    writeln!(f, "  t{tid}: {why}")?;
+                }
+            }
+            FailureKind::Panic { thread, message } => {
+                writeln!(
+                    f,
+                    "model thread t{thread} panicked after {} interleaving(s): {message}",
+                    self.executions
+                )?;
+            }
+            FailureKind::OpBudget { ops } => {
+                writeln!(
+                    f,
+                    "op budget exceeded ({ops} ops) after {} interleaving(s) — livelock suspect",
+                    self.executions
+                )?;
+            }
+        }
+        writeln!(f, "schedule (replayable): {:?}", self.schedule)?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        for ev in &self.trace {
+            writeln!(f, "  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every interleaving within the preemption bound passed.
+    Pass {
+        /// Interleavings explored.
+        executions: usize,
+    },
+    /// The execution cap was hit before the tree was exhausted; no
+    /// failure found in the explored prefix.
+    Capped {
+        /// Interleavings explored.
+        executions: usize,
+    },
+    /// A failing interleaving was found.
+    Failed(Box<Failure>),
+}
+
+impl Outcome {
+    /// Interleavings explored, whatever the outcome.
+    pub fn executions(&self) -> usize {
+        match self {
+            Outcome::Pass { executions } | Outcome::Capped { executions } => *executions,
+            Outcome::Failed(fail) => fail.executions,
+        }
+    }
+
+    /// The failure, if one was found.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Outcome::Failed(fail) => Some(fail),
+            _ => None,
+        }
+    }
+}
+
+/// What a thread has declared it will do next; the scheduler only runs
+/// threads whose intent is currently enabled.
+#[derive(Debug)]
+enum Intent {
+    /// First activation of a freshly spawned thread (always enabled).
+    Start,
+    /// Acquire the mutex with this id (enabled iff free).
+    Lock(usize),
+    /// Atomically release the mutex and park on the condvar (always
+    /// enabled; executing it parks the thread).
+    CvPark { cv: usize, mutex: usize },
+    /// Notify a condvar (always enabled).
+    Notify { cv: usize, all: bool },
+    /// A sequentially-consistent atomic access (always enabled).
+    Atomic,
+    /// Make a previously registered child schedulable (always enabled).
+    Spawn { child: usize },
+    /// Join a thread (enabled iff it finished).
+    Join(usize),
+}
+
+#[derive(Debug)]
+enum TState {
+    /// Currently executing user code (at most one thread).
+    Running,
+    /// At a yield point with a declared intent; `op`/`loc` label the
+    /// trace event recorded when the intent executes.
+    Ready {
+        intent: Intent,
+        op: &'static str,
+        loc: String,
+    },
+    /// Parked on a condvar until notified (or spuriously woken).
+    CvWaiting { cv: usize, mutex: usize },
+    /// Registered by a spawn op but not schedulable until the spawn
+    /// executes.
+    Embryo,
+    /// Done; `join` is enabled on it.
+    Finished,
+}
+
+type ThreadResult = Result<Box<dyn std::any::Any + Send>, Box<dyn std::any::Any + Send>>;
+
+struct ModelThread {
+    state: TState,
+    result: Option<ThreadResult>,
+}
+
+/// Persistent-across-executions DFS state: the branch stack.
+struct Explorer {
+    /// `(candidates, index of the choice taken)` per branch point.
+    stack: Vec<(Vec<usize>, usize)>,
+    /// When `Some`, replay this fixed schedule instead of exploring.
+    replay: Option<Vec<usize>>,
+}
+
+impl Explorer {
+    /// Picks a thread at branch `depth` among `candidates`.
+    fn choose(&mut self, depth: usize, candidates: &[usize]) -> usize {
+        if let Some(sched) = &self.replay {
+            return sched
+                .get(depth)
+                .copied()
+                .filter(|t| candidates.contains(t))
+                .unwrap_or(candidates[0]);
+        }
+        if depth < self.stack.len() {
+            let (stored, idx) = &self.stack[depth];
+            assert_eq!(
+                stored, candidates,
+                "detcheck: test body is not deterministic — branch {depth} diverged on replay"
+            );
+            stored[*idx]
+        } else {
+            self.stack.push((candidates.to_vec(), 0));
+            candidates[0]
+        }
+    }
+
+    /// Advances to the next unexplored schedule; false when exhausted.
+    fn backtrack(&mut self) -> bool {
+        while let Some((candidates, idx)) = self.stack.last_mut() {
+            *idx += 1;
+            if *idx < candidates.len() {
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    /// The schedule of the current (just-run) execution.
+    fn schedule(&self) -> Vec<usize> {
+        if let Some(sched) = &self.replay {
+            return sched.clone();
+        }
+        self.stack.iter().map(|(c, i)| c[*i]).collect()
+    }
+}
+
+/// Per-execution shared state, guarded by the controller mutex.
+struct Exec {
+    threads: Vec<ModelThread>,
+    /// Mutex id -> holding thread.
+    mutex_holders: BTreeMap<usize, usize>,
+    /// Condvar id -> parked `(thread, mutex)` waiters in park order.
+    cv_waiters: BTreeMap<usize, Vec<(usize, usize)>>,
+    trace: Vec<TraceEvent>,
+    /// Branch counter this execution.
+    depth: usize,
+    ops: usize,
+    preemptions: usize,
+    done: bool,
+    aborting: bool,
+    failure: Option<FailureKind>,
+    explorer: Explorer,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The per-execution coordinator every shim op talks to (via TLS).
+pub(crate) struct Controller {
+    cfg: Config,
+    ex: Mutex<Exec>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Controller>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Message of the last user panic raised on a model thread; consumed
+    /// by [`Controller::abort_from_unwind`] so a panic that unwinds into
+    /// a shim operation keeps its original message in the report.
+    static LAST_PANIC: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The active model run for the calling thread, if any. `None` means the
+/// shim types pass straight through to the real std primitives.
+pub(crate) fn current() -> Option<(Arc<Controller>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Controller>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Model context for a shim operation: `Some` only when the calling
+/// thread is a model thread in a healthy (non-aborting, non-unwinding)
+/// execution. As a side effect, the first call made while unwinding from
+/// an uncaught panic converts that panic into a model failure so every
+/// other thread tears down — a panic fully contained by `catch_unwind`
+/// never runs a shim op mid-unwind, so deliberate panics stay invisible.
+pub(crate) fn healthy_ctx() -> Option<(Arc<Controller>, usize)> {
+    let (ctl, me) = current()?;
+    if std::thread::panicking() {
+        ctl.abort_from_unwind(me);
+        return None;
+    }
+    if ctl.is_aborting() {
+        return None;
+    }
+    Some((ctl, me))
+}
+
+/// `file:line` of the shim call site; `#[track_caller]` all the way down
+/// so the recorded location is in simcore/pool code, not in the shims.
+#[track_caller]
+pub(crate) fn caller_loc() -> String {
+    let loc = std::panic::Location::caller();
+    format!("{}:{}", loc.file(), loc.line())
+}
+
+/// The one raw OS-thread spawn site in the crate: both model threads and
+/// passthrough shim spawns route through here (see the detlint `thread`
+/// containment rule).
+pub(crate) fn os_spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::spawn(f)
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+/// Installs (once, process-wide) a panic hook that silences the internal
+/// [`Abort`] unwind payload and delegates everything else.
+fn install_quiet_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Abort>().is_some() {
+                return;
+            }
+            if current().is_some() {
+                // A user panic on a model thread: record the message for
+                // the failure report instead of printing — an exploration
+                // can hit the same expected panic thousands of times.
+                let msg = panic_message(info.payload());
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(msg));
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl Controller {
+    fn new(cfg: Config, explorer: Explorer) -> Controller {
+        Controller {
+            cfg,
+            ex: Mutex::new(Exec {
+                threads: Vec::new(),
+                mutex_holders: BTreeMap::new(),
+                cv_waiters: BTreeMap::new(),
+                trace: Vec::new(),
+                depth: 0,
+                ops: 0,
+                preemptions: 0,
+                done: false,
+                aborting: false,
+                failure: None,
+                explorer,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_ex(&self) -> std::sync::MutexGuard<'_, Exec> {
+        // A model thread that panicked between ops can poison this lock
+        // mid-teardown; the state is still consistent (every critical
+        // section below is transactional), so keep going.
+        self.ex.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Racy aborting check for shim fast paths.
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.lock_ex().aborting
+    }
+
+    /// Converts an uncaught user panic (detected because it unwound into
+    /// a shim operation) into a model failure, waking every thread for
+    /// teardown. No-op when the execution is already aborting.
+    pub(crate) fn abort_from_unwind(&self, me: usize) {
+        let mut ex = self.lock_ex();
+        if ex.aborting {
+            return;
+        }
+        let message = LAST_PANIC
+            .with(|p| p.borrow_mut().take())
+            .unwrap_or_else(|| "panic unwound into a shim operation".to_string());
+        self.fail(
+            &mut ex,
+            FailureKind::Panic {
+                thread: me,
+                message,
+            },
+        );
+    }
+
+    /// Records a failure and wakes everyone so the execution unwinds.
+    fn fail(&self, ex: &mut Exec, kind: FailureKind) {
+        if ex.failure.is_none() {
+            ex.failure = Some(kind);
+        }
+        ex.aborting = true;
+        ex.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether a declared intent can execute right now.
+    fn enabled(ex: &Exec, intent: &Intent) -> bool {
+        match intent {
+            Intent::Lock(m) => !ex.mutex_holders.contains_key(m),
+            Intent::Join(t) => matches!(ex.threads[*t].state, TState::Finished),
+            Intent::Start
+            | Intent::CvPark { .. }
+            | Intent::Notify { .. }
+            | Intent::Atomic
+            | Intent::Spawn { .. } => true,
+        }
+    }
+
+    /// The scheduling core: picks and executes intents until some thread
+    /// transitions to `Running` (or the execution completes / fails).
+    ///
+    /// `from` is the thread that just yielded (None for forced entry
+    /// points like kickoff and thread exit).
+    fn pick_next(&self, ex: &mut Exec, from: Option<usize>) {
+        let mut from = from;
+        loop {
+            if ex.aborting {
+                return;
+            }
+            let enabled: Vec<usize> = (0..ex.threads.len())
+                .filter(|&t| match &ex.threads[t].state {
+                    TState::Ready { intent, .. } => Self::enabled(ex, intent),
+                    _ => false,
+                })
+                .collect();
+            let budget_left = ex.preemptions < self.cfg.max_preemptions;
+            let spurious: Vec<usize> = if self.cfg.spurious_wakeups && budget_left {
+                (0..ex.threads.len())
+                    .filter(|&t| matches!(ex.threads[t].state, TState::CvWaiting { .. }))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if enabled.is_empty() && spurious.is_empty() {
+                if ex
+                    .threads
+                    .iter()
+                    .all(|t| matches!(t.state, TState::Finished))
+                {
+                    ex.done = true;
+                    self.cv.notify_all();
+                } else {
+                    let blocked = ex
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| !matches!(t.state, TState::Finished))
+                        .map(|(tid, t)| (tid, describe_stuck(ex, tid, &t.state)))
+                        .collect();
+                    self.fail(ex, FailureKind::Deadlock { blocked });
+                }
+                return;
+            }
+
+            let me_enabled = from.is_some_and(|m| enabled.contains(&m));
+            let candidates: Vec<usize> = if me_enabled && !budget_left {
+                vec![from.unwrap_or_default()]
+            } else {
+                let mut c = Vec::with_capacity(enabled.len() + spurious.len());
+                if let Some(m) = from.filter(|_| me_enabled) {
+                    c.push(m);
+                }
+                c.extend(enabled.iter().copied().filter(|&t| Some(t) != from));
+                c.extend(spurious.iter().copied());
+                c
+            };
+            let chosen = if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                let d = ex.depth;
+                ex.depth += 1;
+                ex.explorer.choose(d, &candidates)
+            };
+            let charged = me_enabled && Some(chosen) != from;
+            if charged {
+                ex.preemptions += 1;
+            }
+
+            // A spurious wakeup: convert the waiter to a lock re-acquire
+            // and keep scheduling. Always costs a preemption, or a
+            // park/spurious-wake/re-park cycle would make the DFS tree
+            // infinite.
+            if let TState::CvWaiting { cv, mutex } = ex.threads[chosen].state {
+                if !charged {
+                    ex.preemptions += 1;
+                }
+                if let Some(ws) = ex.cv_waiters.get_mut(&cv) {
+                    ws.retain(|(t, _)| *t != chosen);
+                }
+                ex.trace.push(TraceEvent {
+                    thread: chosen,
+                    op: "spurious-wakeup".to_string(),
+                    location: format!("condvar {:#x}", cv & 0xffff),
+                });
+                ex.threads[chosen].state = TState::Ready {
+                    intent: Intent::Lock(mutex),
+                    op: "cv-wait-reacquire",
+                    loc: format!("condvar {:#x}", cv & 0xffff),
+                };
+                from = None;
+                continue;
+            }
+
+            // Execute the chosen thread's intent.
+            let state = std::mem::replace(&mut ex.threads[chosen].state, TState::Running);
+            let TState::Ready { intent, op, loc } = state else {
+                unreachable!("scheduler chose a non-ready thread");
+            };
+            ex.trace.push(TraceEvent {
+                thread: chosen,
+                op: op.to_string(),
+                location: loc.clone(),
+            });
+            match intent {
+                Intent::Start | Intent::Atomic | Intent::Join(_) => {
+                    self.cv.notify_all();
+                    return;
+                }
+                Intent::Lock(m) => {
+                    ex.mutex_holders.insert(m, chosen);
+                    self.cv.notify_all();
+                    return;
+                }
+                Intent::Notify { cv, all } => {
+                    let woken: Vec<(usize, usize)> = match ex.cv_waiters.get_mut(&cv) {
+                        Some(ws) if all => std::mem::take(ws),
+                        Some(ws) if !ws.is_empty() => vec![ws.remove(0)],
+                        _ => Vec::new(),
+                    };
+                    for (tid, mutex) in woken {
+                        ex.threads[tid].state = TState::Ready {
+                            intent: Intent::Lock(mutex),
+                            op: "cv-wait-reacquire",
+                            loc: loc.clone(),
+                        };
+                    }
+                    self.cv.notify_all();
+                    return;
+                }
+                Intent::Spawn { child } => {
+                    ex.threads[child].state = TState::Ready {
+                        intent: Intent::Start,
+                        op: "thread-start",
+                        loc: loc.clone(),
+                    };
+                    self.cv.notify_all();
+                    return;
+                }
+                Intent::CvPark { cv, mutex } => {
+                    // Release the mutex and park; the parker does not get
+                    // a turn, so keep scheduling.
+                    ex.mutex_holders.remove(&mutex);
+                    ex.cv_waiters.entry(cv).or_default().push((chosen, mutex));
+                    ex.threads[chosen].state = TState::CvWaiting { cv, mutex };
+                    from = None;
+                }
+            }
+        }
+    }
+
+    /// Declares `intent` at a yield point and blocks until this thread is
+    /// scheduled to run again.
+    fn yield_with(&self, me: usize, intent: Intent, op: &'static str, loc: String) {
+        let mut ex = self.lock_ex();
+        if ex.aborting {
+            drop(ex);
+            abort_unwind();
+        }
+        ex.ops += 1;
+        if ex.ops > self.cfg.max_ops {
+            let ops = ex.ops;
+            self.fail(&mut ex, FailureKind::OpBudget { ops });
+            drop(ex);
+            abort_unwind();
+        }
+        ex.threads[me].state = TState::Ready { intent, op, loc };
+        self.pick_next(&mut ex, Some(me));
+        loop {
+            if matches!(ex.threads[me].state, TState::Running) {
+                return;
+            }
+            if ex.aborting {
+                drop(ex);
+                abort_unwind();
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    // ---- shim entry points (model mode only) ----
+
+    pub(crate) fn op_acquire(&self, me: usize, mutex: usize, loc: String) {
+        self.yield_with(me, Intent::Lock(mutex), "lock", loc);
+    }
+
+    /// Mutex release: not a yield point (the releasing thread keeps
+    /// running), but recorded and applied so blocked acquirers become
+    /// eligible at the next scheduling point.
+    pub(crate) fn op_release(&self, me: usize, mutex: usize) {
+        let mut ex = self.lock_ex();
+        if ex.mutex_holders.get(&mutex) == Some(&me) {
+            ex.mutex_holders.remove(&mutex);
+        }
+        ex.trace.push(TraceEvent {
+            thread: me,
+            op: "unlock".to_string(),
+            location: format!("mutex {:#x}", mutex & 0xffff),
+        });
+    }
+
+    /// Condvar wait: parks (releasing the mutex) in one atomic step, then
+    /// blocks until notified *and* rescheduled holding the mutex again.
+    pub(crate) fn op_cv_wait(&self, me: usize, cv: usize, mutex: usize, loc: String) {
+        self.yield_with(me, Intent::CvPark { cv, mutex }, "cv-wait-park", loc);
+    }
+
+    pub(crate) fn op_notify(&self, me: usize, cv: usize, all: bool, loc: String) {
+        let op = if all { "notify-all" } else { "notify-one" };
+        self.yield_with(me, Intent::Notify { cv, all }, op, loc);
+    }
+
+    pub(crate) fn op_atomic(&self, me: usize, op: &'static str, loc: String) {
+        self.yield_with(me, Intent::Atomic, op, loc);
+    }
+
+    /// Registers a child thread slot and schedules the spawn; returns the
+    /// child's model-thread id. The caller then creates the OS thread and
+    /// hands its handle to [`Controller::register_os_handle`].
+    pub(crate) fn op_spawn(&self, me: usize, loc: String) -> usize {
+        let child = {
+            let mut ex = self.lock_ex();
+            ex.threads.push(ModelThread {
+                state: TState::Embryo,
+                result: None,
+            });
+            ex.threads.len() - 1
+        };
+        self.yield_with(me, Intent::Spawn { child }, "spawn", loc);
+        child
+    }
+
+    pub(crate) fn register_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_ex().os_handles.push(handle);
+    }
+
+    /// Joins a model thread: blocks until it finishes, then returns its
+    /// result (panic payloads included, mirroring [`std::thread::JoinHandle`]).
+    pub(crate) fn op_join(&self, me: usize, target: usize, loc: String) -> ThreadResult {
+        self.yield_with(me, Intent::Join(target), "join", loc);
+        self.lock_ex().threads[target]
+            .result
+            .take()
+            .unwrap_or_else(|| Err(Box::new(Abort)))
+    }
+
+    /// Abort-mode join: waits only for the target's finished flag (every
+    /// model thread reaches [`Controller::exit_thread`] even when
+    /// unwinding), without touching the scheduler.
+    pub(crate) fn join_aborting(&self, target: usize) -> ThreadResult {
+        let mut ex = self.lock_ex();
+        while !matches!(ex.threads[target].state, TState::Finished) {
+            ex = self.cv.wait(ex).unwrap_or_else(PoisonError::into_inner);
+        }
+        ex.threads[target]
+            .result
+            .take()
+            .unwrap_or_else(|| Err(Box::new(Abort)))
+    }
+
+    /// Called by a freshly spawned OS thread: installs the TLS context
+    /// and blocks until the scheduler first activates it. Returns false
+    /// when the execution aborted before activation — the thread's body
+    /// must then be skipped entirely (it was never scheduled).
+    fn enter_thread(self: &Arc<Controller>, me: usize) -> bool {
+        set_current(Some((Arc::clone(self), me)));
+        let mut ex = self.lock_ex();
+        loop {
+            if matches!(ex.threads[me].state, TState::Running) {
+                return true;
+            }
+            if ex.aborting {
+                return false;
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Called by the thread wrapper when the body returns or unwinds.
+    fn exit_thread(&self, me: usize, result: ThreadResult, user_panic: Option<String>) {
+        let mut ex = self.lock_ex();
+        ex.threads[me].state = TState::Finished;
+        ex.threads[me].result = Some(result);
+        ex.trace.push(TraceEvent {
+            thread: me,
+            op: "exit".to_string(),
+            location: String::new(),
+        });
+        if let Some(message) = user_panic {
+            self.fail(
+                &mut ex,
+                FailureKind::Panic {
+                    thread: me,
+                    message,
+                },
+            );
+            return;
+        }
+        if ex.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut ex, None);
+    }
+}
+
+fn describe_stuck(ex: &Exec, _tid: usize, state: &TState) -> String {
+    match state {
+        TState::Ready {
+            intent: Intent::Lock(m),
+            ..
+        } => {
+            let holder = ex.mutex_holders.get(m);
+            match holder {
+                Some(h) => format!("blocked acquiring mutex {:#x} held by t{h}", m & 0xffff),
+                None => "blocked acquiring a free mutex (scheduler bug)".to_string(),
+            }
+        }
+        TState::Ready {
+            intent: Intent::Join(t),
+            ..
+        } => format!("blocked joining t{t}"),
+        TState::CvWaiting { cv, .. } => {
+            format!(
+                "parked on condvar {:#x} with no notify in flight",
+                cv & 0xffff
+            )
+        }
+        TState::Ready { op, .. } => format!("blocked at `{op}` (scheduler bug)"),
+        TState::Running => "running (scheduler bug)".to_string(),
+        TState::Embryo => "spawned but never started".to_string(),
+        TState::Finished => "finished".to_string(),
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Spawns a model thread's OS thread. Lives here (with the controller);
+/// the public spawn shim in [`crate::thread`] routes through it.
+pub(crate) fn spawn_model_os_thread<F>(ctl: &Arc<Controller>, tid: usize, body: F)
+where
+    F: FnOnce() -> ThreadResult + Send + 'static,
+{
+    let ctl2 = Arc::clone(ctl);
+    let handle = os_spawn(move || {
+        let (result, user_panic) = if ctl2.enter_thread(tid) {
+            match catch_unwind(AssertUnwindSafe(body)) {
+                Ok(res) => (res, None),
+                Err(payload) => {
+                    if payload.downcast_ref::<Abort>().is_some() {
+                        (Err(payload), None)
+                    } else {
+                        let msg = panic_message(payload.as_ref());
+                        (Err(payload), Some(msg))
+                    }
+                }
+            }
+        } else {
+            // Aborted before first activation: the body never ran.
+            (Err(Box::new(Abort) as Box<dyn std::any::Any + Send>), None)
+        };
+        ctl2.exit_thread(tid, result, user_panic);
+        set_current(None);
+    });
+    ctl.register_os_handle(handle);
+}
+
+/// Runs one execution of `f` under the controller; returns the explorer,
+/// any failure, and the trace.
+fn run_once(
+    cfg: &Config,
+    explorer: Explorer,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Explorer, Option<FailureKind>, Vec<TraceEvent>) {
+    let ctl = Arc::new(Controller::new(cfg.clone(), explorer));
+    {
+        let mut ex = ctl.lock_ex();
+        ex.threads.push(ModelThread {
+            state: TState::Ready {
+                intent: Intent::Start,
+                op: "thread-start",
+                loc: "test body".to_string(),
+            },
+            result: None,
+        });
+    }
+    let f2 = Arc::clone(f);
+    spawn_model_os_thread(&ctl, 0, move || {
+        f2();
+        Ok(Box::new(()))
+    });
+    // Kick off: activate thread 0 (the only candidate).
+    {
+        let mut ex = ctl.lock_ex();
+        ctl.pick_next(&mut ex, None);
+    }
+    // Wait for the execution to complete or fail.
+    {
+        let mut ex = ctl.lock_ex();
+        while !ex.done {
+            ex = ctl.cv.wait(ex).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    // Join every OS thread this execution created (they all exit: either
+    // normally or unwound by the abort).
+    loop {
+        let handle = ctl.lock_ex().os_handles.pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let mut ex = ctl.lock_ex();
+    let failure = ex.failure.take();
+    let trace = std::mem::take(&mut ex.trace);
+    let explorer = std::mem::replace(
+        &mut ex.explorer,
+        Explorer {
+            stack: Vec::new(),
+            replay: None,
+        },
+    );
+    drop(ex);
+    (explorer, failure, trace)
+}
+
+/// Exhaustively explores every interleaving of `f` within the preemption
+/// bound. `f` runs as model thread 0 and may spawn more via the shims.
+pub fn explore<F>(cfg: Config, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_abort_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut explorer = Explorer {
+        stack: Vec::new(),
+        replay: None,
+    };
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let (expl, failure, trace) = run_once(&cfg, explorer, &f);
+        explorer = expl;
+        if let Some(kind) = failure {
+            return Outcome::Failed(Box::new(Failure {
+                kind,
+                schedule: explorer.schedule(),
+                trace,
+                executions,
+            }));
+        }
+        if !explorer.backtrack() {
+            return Outcome::Pass { executions };
+        }
+        if executions >= cfg.max_executions {
+            return Outcome::Capped { executions };
+        }
+    }
+}
+
+/// Re-runs `f` once under the exact interleaving `schedule` (as reported
+/// by a [`Failure`]). Returns that single execution's outcome.
+pub fn replay<F>(cfg: Config, schedule: &[usize], f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_abort_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let explorer = Explorer {
+        stack: Vec::new(),
+        replay: Some(schedule.to_vec()),
+    };
+    let (explorer, failure, trace) = run_once(&cfg, explorer, &f);
+    match failure {
+        Some(kind) => Outcome::Failed(Box::new(Failure {
+            kind,
+            schedule: explorer.schedule(),
+            trace,
+            executions: 1,
+        })),
+        None => Outcome::Pass { executions: 1 },
+    }
+}

@@ -1,0 +1,463 @@
+//! Shim synchronization primitives with std-compatible APIs.
+//!
+//! Each type wraps its `std::sync` counterpart and adds a mode switch:
+//! when the calling thread is a registered model thread (it was spawned
+//! under [`crate::explore`]), every operation first reports to the
+//! controlled scheduler as a yield point and obeys the model semantics
+//! (locks are granted by the scheduler, condvar parking is atomic with
+//! the unlock, notifies move parked threads to a lock-reacquire state);
+//! when it is not — a normal build, or another test in the same binary —
+//! every operation passes straight through to std. This is what makes
+//! the feature-flag swap in `simcore::sync` and `deepserve::pool` safe
+//! under cargo feature unification: compiling against the shims changes
+//! nothing outside an active model run.
+//!
+//! Two invariants keep the two layers consistent:
+//!
+//! 1. A model thread never holds a *real* inner lock while parked — the
+//!    real guard is dropped before the model park, and re-acquired only
+//!    after the scheduler has granted the model lock — so inner locks
+//!    are never contended between model threads.
+//! 2. Once an execution aborts (failure found) or the calling thread is
+//!    unwinding, operations revert to passthrough (with condvar waits
+//!    degraded to short timed waits) so `Drop` impls such as
+//!    `WorkerPool::drop` can tear down without touching dead scheduler
+//!    state. The first shim operation that runs *while unwinding from an
+//!    uncaught panic* is also what converts that panic into a model
+//!    failure — a panic fully contained by `catch_unwind` never executes
+//!    a shim op mid-unwind, so deliberate panics (poisoned-round
+//!    injection) stay transparent.
+
+use crate::sched::{self, caller_loc as caller, healthy_ctx as model_ctx, Controller};
+use core::time::Duration;
+use std::sync::{Arc, LockResult, PoisonError};
+
+/// A mutual-exclusion lock with the [`std::sync::Mutex`] API, scheduled
+/// by the model checker inside model runs.
+pub struct Mutex<T> {
+    /// Boxed so the primitive's heap address is a stable identity even if
+    /// the `Mutex` itself is moved.
+    inner: Box<std::sync::Mutex<T>>,
+    poisoned: Box<std::sync::atomic::AtomicBool>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: Box::new(std::sync::Mutex::new(value)),
+            poisoned: Box::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    fn id(&self) -> usize {
+        std::ptr::from_ref::<std::sync::Mutex<T>>(&*self.inner) as usize
+    }
+
+    /// Mirrors std's poisoning contract: a guard dropped during a panic
+    /// poisons the lock, and later acquisitions get `Err` with the guard
+    /// inside.
+    fn wrap<'a>(&'a self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if self.poisoned.load(std::sync::atomic::Ordering::Relaxed) {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Acquires the lock, blocking the calling thread (or, in a model
+    /// run, parking it in the scheduler) until it is available.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let loc = caller();
+        match model_ctx() {
+            Some((ctl, me)) => {
+                ctl.op_acquire(me, self.id(), loc);
+                // Invariant 1: the model holder is unique, so the real
+                // acquire below cannot block on another model thread.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                self.wrap(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((ctl, me)),
+                })
+            }
+            None => {
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                self.wrap(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: None,
+                })
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is *not* a model yield point
+/// (the releasing thread keeps running until its next operation), which
+/// matches how a real unlock never deschedules the caller.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Controller>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("detcheck guard used after wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("detcheck guard used after wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.lock
+                .poisoned
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        // Free the real lock before releasing the model hold: no other
+        // model thread is scheduled until this thread's next yield point,
+        // and any aborting passthrough acquirer needs the real lock free.
+        drop(self.inner.take());
+        if let Some((ctl, me)) = self.model.take() {
+            if std::thread::panicking() {
+                // First shim touch during an uncaught unwind: fail the
+                // execution (no-op if it is already aborting).
+                ctl.abort_from_unwind(me);
+            } else if !ctl.is_aborting() {
+                ctl.op_release(me, self.lock.id());
+            }
+        }
+    }
+}
+
+/// A condition variable with the [`std::sync::Condvar`] API. In model
+/// runs, `wait` atomically releases the mutex and parks in the scheduler
+/// (a lost wakeup therefore shows up as a detected deadlock, exactly as
+/// it would on real hardware), and notifies transfer parked threads to a
+/// lock-reacquire state.
+pub struct Condvar {
+    inner: Box<std::sync::Condvar>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: Box::new(std::sync::Condvar::new()),
+        }
+    }
+
+    fn id(&self) -> usize {
+        std::ptr::from_ref::<std::sync::Condvar>(&*self.inner) as usize
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified (or, per the
+    /// std contract, spuriously — the model explores spurious wakeups
+    /// only when [`crate::Config::spurious_wakeups`] is set). Re-acquires
+    /// the mutex before returning.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let loc = caller();
+        let lock = guard.lock;
+        match guard.model.take() {
+            Some((ctl, me)) if !std::thread::panicking() && !ctl.is_aborting() => {
+                // Park atomically: drop the real guard here, and let the
+                // scheduler release the model hold as part of the park so
+                // no notify can slip between the two.
+                drop(guard.inner.take());
+                drop(guard);
+                ctl.op_cv_wait(me, self.id(), lock.id(), loc);
+                // Scheduled again holding the model lock; take the real one.
+                let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                lock.wrap(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: Some((ctl, me)),
+                })
+            }
+            model => {
+                let std_guard = guard.inner.take().expect("detcheck guard used after wait");
+                let inner = if model.is_some() || sched::current().is_some() {
+                    // Aborting / unwinding teardown: degrade to a short
+                    // timed wait so close-flag loops re-check their
+                    // condition instead of blocking on a condvar whose
+                    // model waiter list is dead. Callers treat an empty
+                    // wakeup as spurious, which the std contract allows.
+                    let (g, _) = self
+                        .inner
+                        .wait_timeout(std_guard, Duration::from_millis(1))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    g
+                } else {
+                    self.inner
+                        .wait(std_guard)
+                        .unwrap_or_else(PoisonError::into_inner)
+                };
+                guard.model = model;
+                guard.inner = Some(inner);
+                lock.wrap(guard)
+            }
+        }
+    }
+
+    /// Wakes one thread parked on this condition variable.
+    #[track_caller]
+    pub fn notify_one(&self) {
+        let loc = caller();
+        if let Some((ctl, me)) = model_ctx() {
+            ctl.op_notify(me, self.id(), false, loc);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes every thread parked on this condition variable.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        let loc = caller();
+        if let Some((ctl, me)) = model_ctx() {
+            ctl.op_notify(me, self.id(), true, loc);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ty, $value:ty) => {
+        /// Atomic with the std API; every access is a model yield point.
+        /// The model serializes all accesses, so every ordering behaves
+        /// as `SeqCst` inside a model run.
+        pub struct $name {
+            inner: Box<$std>,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub fn new(v: $value) -> Self {
+                $name {
+                    inner: Box::new(<$std>::new(v)),
+                }
+            }
+
+            /// Loads the current value.
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $value {
+                let loc = caller();
+                if let Some((ctl, me)) = model_ctx() {
+                    ctl.op_atomic(me, "atomic-load", loc);
+                }
+                self.inner.load(order)
+            }
+
+            /// Stores a new value.
+            #[track_caller]
+            pub fn store(&self, v: $value, order: Ordering) {
+                let loc = caller();
+                if let Some((ctl, me)) = model_ctx() {
+                    ctl.op_atomic(me, "atomic-store", loc);
+                }
+                self.inner.store(v, order);
+            }
+
+            /// Replaces the value, returning the previous one.
+            #[track_caller]
+            pub fn swap(&self, v: $value, order: Ordering) -> $value {
+                let loc = caller();
+                if let Some((ctl, me)) = model_ctx() {
+                    ctl.op_atomic(me, "atomic-swap", loc);
+                }
+                self.inner.swap(v, order)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+impl AtomicUsize {
+    /// Adds to the value, returning the previous one.
+    #[track_caller]
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        let loc = caller();
+        if let Some((ctl, me)) = model_ctx() {
+            ctl.op_atomic(me, "atomic-fetch-add", loc);
+        }
+        self.inner.fetch_add(v, order)
+    }
+
+    /// Subtracts from the value, returning the previous one.
+    #[track_caller]
+    pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        let loc = caller();
+        if let Some((ctl, me)) = model_ctx() {
+            ctl.op_atomic(me, "atomic-fetch-sub", loc);
+        }
+        self.inner.fetch_sub(v, order)
+    }
+}
+
+/// Multi-producer single-consumer channel with the `std::sync::mpsc`
+/// API surface the worker pool uses (`channel`/`send`/`recv`/`try_recv`),
+/// built on the shim [`Mutex`] + [`Condvar`] so every channel operation
+/// is a model yield point for free.
+pub mod mpsc {
+    use super::{Arc, Condvar, Mutex, PoisonError};
+    use std::collections::VecDeque;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        state: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value; `Err` returns it if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                // The receiver may be parked waiting for a value that will
+                // never come; wake it so it observes disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Pops a value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receiver_alive = false;
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Shim thread spawn/join with the `std::thread` API surface the worker
+//! pool uses.
+//!
+//! In a model run, `spawn` registers a new model thread with the
+//! scheduler (the spawn itself is a yield point, so the child's first
+//! step can be interleaved anywhere after it) and `join` is a blocking
+//! operation that is only enabled once the child finished — a join on a
+//! child that can never finish is reported as a deadlock. Outside a
+//! model run both delegate to std. The raw `std::thread::spawn` call
+//! sites live in `sched.rs` (the controller owns every OS thread),
+//! keeping the detlint `thread` containment surface to a single file.
+
+use crate::sched::{self, Controller};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Owned permission to join on a thread, mirroring
+/// [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        ctl: Arc<Controller>,
+        tid: usize,
+        _result: PhantomData<fn() -> T>,
+    },
+}
+
+/// Spawns a new thread, returning a [`JoinHandle`] for it.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let loc = sched::caller_loc();
+    match sched::healthy_ctx() {
+        Some((ctl, me)) => {
+            let tid = ctl.op_spawn(me, loc);
+            sched::spawn_model_os_thread(&ctl, tid, move || {
+                Ok(Box::new(f()) as Box<dyn Any + Send>)
+            });
+            JoinHandle {
+                inner: Inner::Model {
+                    ctl,
+                    tid,
+                    _result: PhantomData,
+                },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(sched::os_spawn(f)),
+        },
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (or the
+    /// panic payload if it panicked, exactly like std).
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        let loc = sched::caller_loc();
+        match self.inner {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model { ctl, tid, .. } => {
+                let res = match sched::healthy_ctx() {
+                    // Same execution, healthy: a real scheduled join.
+                    Some((c, me)) if Arc::ptr_eq(&c, &ctl) => ctl.op_join(me, tid, loc),
+                    // Aborting teardown (or a foreign thread): wait only
+                    // for the child's finished flag — every model thread
+                    // sets it even when unwinding.
+                    _ => ctl.join_aborting(tid),
+                };
+                match res {
+                    Ok(boxed) => match boxed.downcast::<T>() {
+                        Ok(v) => Ok(*v),
+                        Err(payload) => Err(payload),
+                    },
+                    Err(payload) => Err(payload),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Model checks for the real `deepserve::pool::WorkerPool` protocol:
+//! round dispatch → completion → reassembly with epoch stamping,
+//! drop-while-parked teardown, and the panic-poisoning drain.
+//!
+//! deepserve is compiled with its `detcheck` feature here, so the pool
+//! under test runs the production TaskQueue, mpsc completion channel and
+//! thread spawn/join on the shim primitives. These scenarios carry many
+//! more yield points than the TaskQueue ones (engine advances, channel
+//! traffic, teardown), so the preemption bound is kept small and an
+//! execution cap guards the CI wall-clock budget; the counts printed per
+//! test record how much of the tree each run covered.
+
+use deepserve::{PoolMember, WorkerPool};
+use detcheck::Config;
+use flowserve::{Engine, EngineConfig, Pacing};
+use llm_model::{ExecCostModel, ModelSpec, Parallelism};
+use npu::specs::ClusterSpec;
+use simcore::SimTime;
+
+fn cfg(preemptions: usize, max_executions: usize) -> Config {
+    Config {
+        max_preemptions: preemptions,
+        max_executions,
+        ..Config::default()
+    }
+}
+
+fn test_engine() -> Engine {
+    let cluster = ClusterSpec::gen2_cluster(1);
+    let cost = ExecCostModel::new(
+        cluster.server.chip.clone(),
+        cluster.hccs,
+        ModelSpec::internal_34b(),
+        Parallelism::tp(4),
+    );
+    Engine::new(EngineConfig::colocated(), cost)
+}
+
+fn members(n: u64) -> Vec<PoolMember> {
+    (1..=n)
+        .map(|i| PoolMember {
+            at: SimTime::from_secs(i),
+            engine: test_engine(),
+            buf: Vec::new(),
+        })
+        .collect()
+}
+
+/// Two dispatch rounds through a 2-lane pool (coordinator + 1 worker):
+/// every chunk must come back stamped with the round's epoch (a stale
+/// completion fails the coordinator's assert), and reassembly must
+/// restore original member order no matter which lane won each chunk.
+#[test]
+fn round_dispatch_reassembly_epochs() {
+    let explored = detcheck::check_named("pool-round-reassembly", cfg(3, 30_000), || {
+        let mut pool = WorkerPool::new(2);
+        for _ in 0..2 {
+            let mut m = members(3);
+            pool.advance(Pacing::SingleStep, &mut m);
+            let ats: Vec<SimTime> = m.iter().map(|x| x.at).collect();
+            let expect: Vec<SimTime> = (1..=3).map(SimTime::from_secs).collect();
+            assert_eq!(ats, expect, "pool reassembly reordered the wave");
+        }
+    });
+    println!(
+        "pool-round-reassembly: explored {} interleavings (exhausted: {})",
+        explored.executions, explored.exhausted
+    );
+}
+
+/// Dropping a pool whose workers never received a job: `close` must wake
+/// every parked worker and every join must return, under every
+/// interleaving of park vs. close (this is the teardown path the
+/// lost-wakeup audit is about — a notify-before-flag `close` deadlocks
+/// here).
+#[test]
+fn drop_while_parked_teardown() {
+    let explored = detcheck::check_named("pool-drop-while-parked", cfg(2, 30_000), || {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 2);
+        drop(pool);
+    });
+    println!(
+        "pool-drop-while-parked: explored {} interleavings (exhausted: {})",
+        explored.executions, explored.exhausted
+    );
+}
+
+/// The panic-poisoning drain: an injected worker panic must come back as
+/// a poisoned completion and re-raise on the coordinator — never a
+/// deadlocked `recv` — and the poisoned pool must still tear down
+/// (close + join) cleanly afterwards, under every explored interleaving.
+#[test]
+fn panic_poisoning_drain() {
+    let explored = detcheck::check_named("pool-panic-drain", cfg(2, 30_000), || {
+        let mut pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.inject_worker_panic();
+        }))
+        .expect_err("injected panic must re-raise on the coordinator");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("worker pool poisoned"),
+            "unexpected poison message: {msg}"
+        );
+        drop(pool);
+    });
+    println!(
+        "pool-panic-drain: explored {} interleavings (exhausted: {})",
+        explored.executions, explored.exhausted
+    );
+}

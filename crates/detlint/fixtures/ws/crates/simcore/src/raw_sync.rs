@@ -1,0 +1,11 @@
+pub fn shared_counter() -> u32 {
+    let m = std::sync::Mutex::new(7u32);
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// detlint: allow(raw-sync) — one-shot init flag for a doc example, not sim state
+static INIT: std::sync::Once = std::sync::Once::new();
+
+pub fn arc_is_fine(x: std::sync::Arc<u32>) -> u32 {
+    *x
+}

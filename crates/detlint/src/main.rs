@@ -7,7 +7,8 @@
 //! cargo run -p detlint -- --root <dir> --json <path>
 //! ```
 //!
-//! Exit codes: 0 clean, 1 unwaived violations, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 unwaived violations, 2 bad waivers (malformed
+//! or naming an unknown rule) and usage or I/O errors.
 
 #![forbid(unsafe_code)]
 
@@ -97,9 +98,5 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     print!("{}", report.render_text(args.quiet));
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(report.exit_code())
 }

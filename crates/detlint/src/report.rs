@@ -4,8 +4,9 @@
 use crate::rules::{FileReport, Violation, Waiver, RULES};
 
 /// Schema version of the JSON report. Bump on any breaking shape change;
-/// the fixture suite pins the current shape.
-pub const SCHEMA_VERSION: u64 = 1;
+/// the fixture suite pins the current shape. v2: added the `raw-sync` and
+/// `lock-order` rules and a `bad-waiver` entry in `per_rule`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Per-rule tallies in the JSON report.
 #[derive(Debug, serde::Serialize)]
@@ -31,7 +32,8 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Every declared waiver, sorted by (file, line, rule).
     pub waivers: Vec<Waiver>,
-    /// Per-rule tallies, in [`RULES`] order.
+    /// Per-rule tallies, in [`RULES`] order, with a trailing `bad-waiver`
+    /// entry (malformed or unknown-rule waivers).
     pub per_rule: Vec<RuleCount>,
 }
 
@@ -63,10 +65,12 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
         self.per_rule = RULES
             .iter()
+            .copied()
+            .chain(std::iter::once("bad-waiver"))
             .map(|r| RuleCount {
                 rule: r.to_string(),
-                violations: self.violations.iter().filter(|v| v.rule == *r).count(),
-                waivers: self.waivers.iter().filter(|w| w.rule == *r).count(),
+                violations: self.violations.iter().filter(|v| v.rule == r).count(),
+                waivers: self.waivers.iter().filter(|w| w.rule == r).count(),
             })
             .collect();
     }
@@ -74,6 +78,20 @@ impl Report {
     /// Whether the scan is clean (no unwaived violations).
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Process exit code for this report: 0 clean, 1 unwaived rule
+    /// violations, 2 when any waiver itself is broken (`bad-waiver`). A
+    /// broken waiver means the suppression surface cannot be trusted, so
+    /// it outranks ordinary findings the way an internal error would.
+    pub fn exit_code(&self) -> u8 {
+        if self.violations.iter().any(|v| v.rule == "bad-waiver") {
+            2
+        } else if self.violations.is_empty() {
+            0
+        } else {
+            1
+        }
     }
 
     /// Human-readable diagnostics, one violation per block.

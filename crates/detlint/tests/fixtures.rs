@@ -38,6 +38,8 @@ fn fixture_violations_exact() {
         ("crates/simcore/src/panics.rs", 2, "panic"),
         ("crates/simcore/src/panics.rs", 12, "panic"),
         ("crates/simcore/src/randomness.rs", 2, "rng"),
+        ("crates/simcore/src/raw_sync.rs", 2, "raw-sync"),
+        ("crates/simcore/src/sync.rs", 11, "lock-order"),
         ("crates/simcore/src/threading.rs", 2, "thread"),
         ("crates/simcore/src/unsafe_block.rs", 2, "unsafe"),
         ("crates/simcore/tests/integration.rs", 17, "unsafe"),
@@ -46,7 +48,7 @@ fn fixture_violations_exact() {
     .map(|(f, l, r)| (f.to_string(), *l, r.to_string()))
     .collect();
     assert_eq!(got, expected, "violation set must match the corpus exactly");
-    assert_eq!(report.files_scanned, 15);
+    assert_eq!(report.files_scanned, 17);
     assert!(!report.is_clean());
 }
 
@@ -73,9 +75,18 @@ fn fixture_diagnostics_render_exact() {
         "crates/simcore/src/clock.rs:2: [wall-clock] `std::time`: sim code must read \
          SimTime, never the host clock\n",
         "crates/simcore/src/threading.rs:2: [thread] `thread::spawn`: threads are allowed \
-         only in crates/core/src/cluster.rs, crates/core/src/pool.rs\n",
+         only in crates/core/src/cluster.rs, crates/core/src/pool.rs, \
+         crates/detcheck/src/sched.rs\n",
         "crates/simcore/src/randomness.rs:2: [rng] `thread_rng`: randomness must flow \
          through simcore::SimRng\n",
+        "crates/simcore/src/raw_sync.rs:2: [raw-sync] `std::sync::Mutex`: raw sync \
+         primitives live only in crates/simcore/src/sync.rs, crates/core/src/pool.rs, \
+         crates/detcheck/src/ — everything else goes through the detcheck-shimmed layer\n    \
+         let m = std::sync::Mutex::new(7u32);\n",
+        "crates/simcore/src/sync.rs:11: [lock-order] `.lock()` while `ga` is held: \
+         nested lock acquisition risks deadlock by order inversion — waive with the \
+         intended global lock order\n    \
+         let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);\n",
         "crates/simcore/src/panics.rs:2: [panic] `unwrap()`: library code must degrade \
          gracefully (debug_assert + fallback) instead of panicking\n    v.unwrap()\n",
         "crates/simcore/src/unsafe_block.rs:2: [unsafe] `unsafe` without a `// SAFETY:` \
@@ -103,7 +114,7 @@ fn fixture_diagnostics_render_exact() {
 
     // Summary footer.
     assert!(
-        text.contains("detlint: 15 file(s) scanned, 14 violation(s), 10 waiver(s)"),
+        text.contains("detlint: 17 file(s) scanned, 16 violation(s), 12 waiver(s)"),
         "summary mismatch:\n{text}"
     );
 }
@@ -111,7 +122,7 @@ fn fixture_diagnostics_render_exact() {
 #[test]
 fn fixture_waiver_audit() {
     let report = scan(&fixture_root()).expect("fixture scan");
-    assert_eq!(report.waivers.len(), 10);
+    assert_eq!(report.waivers.len(), 12);
 
     let by_loc: Vec<(&str, usize, &str, bool, bool)> = report
         .waivers
@@ -159,6 +170,8 @@ fn fixture_waiver_audit() {
         ("crates/simcore/src/panics.rs", 6, "panic", true, false),
         ("crates/simcore/src/panics.rs", 11, "panic", true, true),
         ("crates/simcore/src/randomness.rs", 7, "rng", true, false),
+        ("crates/simcore/src/raw_sync.rs", 6, "raw-sync", true, false),
+        ("crates/simcore/src/sync.rs", 17, "lock-order", true, false),
         ("crates/simcore/src/threading.rs", 6, "thread", true, false),
         ("crates/simcore/src/tricky.rs", 21, "panic", false, false),
     ];
@@ -168,7 +181,15 @@ fn fixture_waiver_audit() {
     );
 
     let audit = report.render_waivers();
-    assert!(audit.starts_with("10 waiver(s) declared:\n"));
+    assert!(audit.starts_with("12 waiver(s) declared:\n"));
+    assert!(audit.contains(
+        "crates/simcore/src/raw_sync.rs:6: allow(raw-sync) — \
+         one-shot init flag for a doc example, not sim state"
+    ));
+    assert!(audit.contains(
+        "crates/simcore/src/sync.rs:17: allow(lock-order) — \
+         global order is a-then-b, held everywhere"
+    ));
     assert!(audit.contains(
         "crates/core/src/fleet.rs:21: allow(unordered-iter) — \
          commutative count; order is irrelevant"
@@ -214,6 +235,16 @@ fn fixture_scope_exemptions_hold() {
         .map(|v| v.rule.as_str())
         .collect();
     assert_eq!(test_file_rules, ["unsafe"]);
+    // The shim swap points may name std::sync directly (raw-sync exempt
+    // there), but lock-order applies exactly there: the nested acquisition
+    // is flagged while the file's raw `use std::sync::Mutex` is not.
+    let sync_rules: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| v.file == "crates/simcore/src/sync.rs")
+        .map(|v| v.rule.as_str())
+        .collect();
+    assert_eq!(sync_rules, ["lock-order"]);
 }
 
 #[test]
@@ -224,11 +255,11 @@ fn json_report_round_trips() {
 
     assert_eq!(
         value.get("schema_version").and_then(|v| v.as_u64()),
-        Some(1)
+        Some(2)
     );
     assert_eq!(
         value.get("files_scanned").and_then(|v| v.as_u64()),
-        Some(15)
+        Some(17)
     );
 
     let violations = value
@@ -253,10 +284,25 @@ fn json_report_round_trips() {
         .get("waivers")
         .and_then(|v| v.as_array())
         .expect("waivers array");
-    assert_eq!(waivers.len(), 10);
+    assert_eq!(waivers.len(), 12);
     assert_eq!(waivers[0].get("used").and_then(|v| v.as_bool()), Some(true));
 
-    // Per-rule tallies: all six rules, in declaration order.
+    // Every diagnostic record carries its rule name.
+    for v in violations {
+        assert!(
+            v.get("rule").and_then(|r| r.as_str()).is_some(),
+            "violation record without a rule name: {v}"
+        );
+    }
+    for w in waivers {
+        assert!(
+            w.get("rule").and_then(|r| r.as_str()).is_some(),
+            "waiver record without a rule name: {w}"
+        );
+    }
+
+    // Per-rule tallies: all eight rules in declaration order, then the
+    // bad-waiver tally.
     let per_rule = value
         .get("per_rule")
         .and_then(|v| v.as_array())
@@ -265,11 +311,51 @@ fn json_report_round_trips() {
         .iter()
         .filter_map(|rc| rc.get("rule").and_then(|v| v.as_str()))
         .collect();
-    assert_eq!(rules, detlint::RULES);
+    let expected_rules: Vec<&str> = detlint::RULES
+        .iter()
+        .copied()
+        .chain(std::iter::once("bad-waiver"))
+        .collect();
+    assert_eq!(rules, expected_rules);
     for rc in per_rule {
         assert!(rc.get("violations").and_then(|v| v.as_u64()).is_some());
         assert!(rc.get("waivers").and_then(|v| v.as_u64()).is_some());
     }
+    let bad = per_rule.last().expect("bad-waiver tally");
+    assert_eq!(
+        bad.get("violations").and_then(|v| v.as_u64()),
+        Some(2),
+        "the corpus seeds one malformed and one unknown-rule waiver"
+    );
+
+    // Full round trip: re-rendering the parsed value and parsing it again
+    // loses nothing.
+    let reparsed = serde_json::from_str(&value.to_string()).expect("re-parse");
+    assert_eq!(value, reparsed, "JSON report must round-trip losslessly");
+}
+
+#[test]
+fn exit_codes_split_bad_waivers_from_findings() {
+    // The fixture corpus seeds bad waivers: internal-error exit code 2.
+    let report = scan(&fixture_root()).expect("fixture scan");
+    assert_eq!(report.exit_code(), 2);
+
+    // Ordinary unwaived findings alone: exit code 1.
+    let mut findings_only = detlint::Report::new("synthetic".to_string());
+    findings_only.violations.push(detlint::Violation {
+        rule: "panic".to_string(),
+        file: "crates/simcore/src/x.rs".to_string(),
+        line: 1,
+        message: "synthetic".to_string(),
+        snippet: String::new(),
+    });
+    findings_only.finish(1);
+    assert_eq!(findings_only.exit_code(), 1);
+
+    // Clean: 0.
+    let mut clean = detlint::Report::new("synthetic".to_string());
+    clean.finish(0);
+    assert_eq!(clean.exit_code(), 0);
 }
 
 #[test]

@@ -16,7 +16,17 @@
 //! are parked without leaking threads or deadlocking.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::PoisonError;
+
+// Under the `detcheck` feature the primitives come from the model
+// checker's shim layer (std-compatible APIs, scheduled yield points
+// inside a model run, passthrough outside one); normal builds use the
+// real std types. See crates/detcheck and DESIGN.md §"Concurrency model
+// checking".
+#[cfg(feature = "detcheck")]
+use detcheck::sync::{Condvar, Mutex};
+#[cfg(not(feature = "detcheck"))]
+use std::sync::{Condvar, Mutex};
 
 /// A closable multi-producer multi-consumer FIFO job queue.
 ///
@@ -98,10 +108,7 @@ impl<T> TaskQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self
-                .ready
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
